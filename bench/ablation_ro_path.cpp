@@ -1,0 +1,67 @@
+// Ablation: what does the read-only fast path buy (paper section 4,
+// factor ii)?
+//
+// Compares standard SI-HTM against a variant that declares every transaction
+// read-write, forcing lookups through the ROT + safety-wait machinery. The
+// gap isolates the benefit of running read-only transactions entirely
+// non-transactionally (no begin/commit overhead, no capacity bound, no
+// quiescence on commit).
+#include "bench/common.hpp"
+#include "hashmap/workload.hpp"
+
+namespace {
+
+/// Adapter that hides the RO flag from SI-HTM.
+class NoRoPath {
+ public:
+  explicit NoRoPath(si::sim::SimEngine& eng) : inner_(eng) {}
+  template <typename Body>
+  void execute(bool /*is_ro*/, Body&& body) {
+    inner_.execute(false, std::forward<Body>(body));
+  }
+  std::vector<si::util::ThreadStats>& thread_stats() { return inner_.thread_stats(); }
+
+ private:
+  si::sim::SimSiHtm inner_;
+};
+
+template <typename Backend>
+si::util::RunStats run_with(const si::hashmap::WorkloadConfig& wcfg, int threads,
+                            double virtual_ns) {
+  si::sim::SimMachineConfig mcfg;
+  si::sim::SimEngine eng(mcfg, threads);
+  si::hashmap::Workload w(wcfg, threads);
+  Backend cc(eng);
+  return eng.run(virtual_ns, [&](int tid) { w.step(cc, tid); });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  const auto sweep = si::bench::Sweep::from_cli(cli);
+
+  si::hashmap::WorkloadConfig wcfg;
+  wcfg.buckets = 1000;
+  wcfg.avg_chain = 200;
+  wcfg.ro_pct = 90;
+
+  std::printf("== Ablation: read-only fast path ==\n");
+  std::printf("hashmap 90%% RO, large footprint, low contention\n");
+  for (const bool ro_path : {true, false}) {
+    std::vector<si::util::SeriesPoint> points;
+    for (int n : sweep.threads) {
+      const auto stats = ro_path
+                             ? run_with<si::sim::SimSiHtm>(wcfg, n, sweep.virtual_ns)
+                             : run_with<NoRoPath>(wcfg, n, sweep.virtual_ns);
+      points.push_back({n, stats});
+      si::bench::progress_dot();
+    }
+    si::util::print_series(std::cout,
+                           ro_path ? "SI-HTM (RO fast path on)"
+                                   : "SI-HTM (RO fast path off)",
+                           points, 1e6);
+  }
+  si::bench::progress_dot('\n');
+  return 0;
+}

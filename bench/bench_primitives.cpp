@@ -1,0 +1,162 @@
+// Google-benchmark microbenches of the library's primitives: emulated HTM
+// access paths, SI-HTM execute overhead per path, Silo OCC, the conflict
+// table, the PRNG, and the discrete-event engine's event throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/silo.hpp"
+#include "p8htm/htm.hpp"
+#include "sihtm/sihtm.hpp"
+#include "sim/backends.hpp"
+#include "sim/engine.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct alignas(si::util::kLineSize) Cell {
+  std::uint64_t v = 0;
+};
+
+void BM_Xoshiro(benchmark::State& state) {
+  si::util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_HtmRotStoreCommit(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Cell> cells(n);
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kRot);
+    for (std::size_t i = 0; i < n; ++i) rt.store(&cells[i].v, std::uint64_t{1});
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HtmRotStoreCommit)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_HtmRotLoad(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  std::vector<Cell> cells(256);
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kRot);
+    std::uint64_t sum = 0;
+    for (auto& c : cells) sum += rt.load(&c.v);  // untracked: capacity-free
+    benchmark::DoNotOptimize(sum);
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_HtmRotLoad);
+
+void BM_HtmTrackedLoad(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  std::vector<Cell> cells(32);  // fits the TMCAM
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kHtm);
+    std::uint64_t sum = 0;
+    for (auto& c : cells) sum += rt.load(&c.v);
+    benchmark::DoNotOptimize(sum);
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_HtmTrackedLoad);
+
+void BM_PlainLoad(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  Cell c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.plain_load(&c.v));
+  }
+}
+BENCHMARK(BM_PlainLoad);
+
+void BM_SiHtmExecuteReadOnly(benchmark::State& state) {
+  si::sihtm::SiHtm cc;
+  cc.register_thread(0);
+  Cell c;
+  for (auto _ : state) {
+    std::uint64_t out = 0;
+    cc.execute(true, [&](auto& tx) { out = tx.read(&c.v); });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SiHtmExecuteReadOnly);
+
+void BM_SiHtmExecuteUpdate(benchmark::State& state) {
+  si::sihtm::SiHtm cc;
+  cc.register_thread(0);
+  Cell c;
+  for (auto _ : state) {
+    cc.execute(false, [&](auto& tx) { tx.write(&c.v, c.v + 1); });
+  }
+}
+BENCHMARK(BM_SiHtmExecuteUpdate);
+
+void BM_SiloExecuteUpdate(benchmark::State& state) {
+  si::baselines::Silo cc;
+  cc.register_thread(0);
+  Cell c;
+  for (auto _ : state) {
+    cc.execute(false, [&](auto& tx) {
+      const auto v = tx.read(&c.v);
+      tx.write(&c.v, v + 1);
+    });
+  }
+}
+BENCHMARK(BM_SiloExecuteUpdate);
+
+// Footnote 1 of the paper: a fraction of ROT reads is TMCAM-tracked anyway.
+// Sweeping the modelled fraction shows how quickly large read sets would
+// start hitting capacity if the hardware tracked more of them.
+void BM_RotReadTrackingFraction(benchmark::State& state) {
+  si::p8::HtmConfig cfg;
+  cfg.rot_read_tracking_pct = static_cast<unsigned>(state.range(0));
+  si::p8::HtmRuntime rt(cfg);
+  rt.register_thread(0);
+  std::vector<Cell> cells(256);
+  std::uint64_t capacity_aborts = 0;
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kRot);
+    try {
+      std::uint64_t sum = 0;
+      for (auto& c : cells) sum += rt.load(&c.v);
+      benchmark::DoNotOptimize(sum);
+      rt.commit();
+    } catch (const si::p8::TxAbort&) {
+      ++capacity_aborts;
+    }
+  }
+  state.counters["capacity_abort_rate"] = benchmark::Counter(
+      static_cast<double>(capacity_aborts), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_RotReadTrackingFraction)->Arg(0)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_SimEngineEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    si::sim::SimMachineConfig mcfg;
+    si::sim::SimEngine eng(mcfg, 8);
+    Cell c;
+    const auto stats = eng.run(1e5, [&](int) {
+      std::uint64_t v;
+      eng.access(&v, &c.v, 8, false, false, si::util::AbortCause::kConflictRead);
+      benchmark::DoNotOptimize(v);
+    });
+    benchmark::DoNotOptimize(stats.elapsed_seconds);
+  }
+}
+BENCHMARK(BM_SimEngineEvents)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Shared harness for the figure benches: runs thread-count sweeps of a
+// workload on the simulated 10-core SMT-8 POWER8 for each concurrency
+// control and prints paper-style series (throughput + abort breakdown).
+//
+// Every figure binary accepts:
+//   -threads 1,2,4,8,16,32,40,80   thread counts (paper's x-axis)
+//   -ms 2.0                        virtual milliseconds simulated per point
+//   -quick                         coarse sweep (1,8,40) for smoke runs
+#pragma once
+
+#include <cstdio>
+#include <unistd.h>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/backends.hpp"
+#include "sim/engine.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace si::bench {
+
+enum class System { kHtm, kSiHtm, kP8tm, kSilo };
+
+/// Interactive progress marker; suppressed when stderr is redirected so
+/// captured bench output stays clean.
+inline void progress_dot(char c = '.') {
+  static const bool tty = isatty(2) != 0;
+  if (tty) std::fputc(c, stderr);
+}
+
+inline const char* name_of(System s) {
+  switch (s) {
+    case System::kHtm: return "HTM";
+    case System::kSiHtm: return "SI-HTM";
+    case System::kP8tm: return "P8TM";
+    case System::kSilo: return "Silo";
+  }
+  return "?";
+}
+
+struct Sweep {
+  std::vector<int> threads{1, 2, 4, 8, 16, 32, 40, 80};
+  double virtual_ns = 2e6;
+
+  static Sweep from_cli(const si::util::Cli& cli) {
+    Sweep s;
+    if (cli.has("quick")) s.threads = {1, 8, 40};
+    s.threads = si::util::parse_int_list(cli.get("threads"), s.threads);
+    s.virtual_ns = cli.get_double("ms", s.virtual_ns / 1e6) * 1e6;
+    return s;
+  }
+};
+
+/// Runs one (system, thread-count) point. `make_workload(threads)` must
+/// return a fresh workload object exposing `step(cc, tid)`.
+template <typename MakeWorkload>
+si::util::RunStats run_point(System system, int threads, double virtual_ns,
+                             MakeWorkload&& make_workload) {
+  si::sim::SimMachineConfig mcfg;  // the paper's machine: 10 cores, SMT-8
+  si::sim::SimEngine eng(mcfg, threads);
+  auto workload = make_workload(threads);
+  auto drive = [&](auto& cc) {
+    return eng.run(virtual_ns, [&](int tid) { workload->step(cc, tid); });
+  };
+  switch (system) {
+    case System::kHtm: {
+      si::sim::SimHtmSgl cc(eng);
+      return drive(cc);
+    }
+    case System::kSiHtm: {
+      si::sim::SimSiHtm cc(eng);
+      return drive(cc);
+    }
+    case System::kP8tm: {
+      si::sim::SimP8tm cc(eng);
+      return drive(cc);
+    }
+    case System::kSilo: {
+      si::sim::SimSilo cc(eng);
+      return drive(cc);
+    }
+  }
+  return {};
+}
+
+/// Full panel: every system over the sweep; prints the paper-style block.
+/// `tx_scale` matches the paper's y-axis units (1e6 for the hash map's
+/// "10^6 Tx/s", 1e4 for TPC-C's "10^4 Tx/s").
+template <typename MakeWorkload>
+void run_panel(const std::string& title, const std::vector<System>& systems,
+               const Sweep& sweep, double tx_scale, MakeWorkload&& make_workload) {
+  std::printf("== %s ==\n", title.c_str());
+  for (System system : systems) {
+    std::vector<si::util::SeriesPoint> points;
+    for (int n : sweep.threads) {
+      points.push_back({n, run_point(system, n, sweep.virtual_ns, make_workload)});
+      progress_dot();
+    }
+    si::util::print_series(std::cout, name_of(system), points, tx_scale);
+  }
+  progress_dot('\n');
+  std::printf("\n");
+}
+
+/// Peak throughput across a printed sweep (for the summary lines).
+inline double peak_throughput(const std::vector<si::util::SeriesPoint>& pts) {
+  double best = 0;
+  for (const auto& p : pts) best = std::max(best, p.stats.throughput());
+  return best;
+}
+
+}  // namespace si::bench

@@ -1,0 +1,35 @@
+// Figure 7 — hash map, 50% read-only / 50% update transactions, LARGE
+// footprint (avg. 200 elements per bucket), low and high contention;
+// HTM vs SI-HTM.
+//
+// Paper's findings this harness should reproduce in shape:
+//  * at low contention SI-HTM still wins (~10% peak gain): update
+//    transactions run as ROTs whose large *read* footprints are free, only
+//    their small write sets are capacity-bounded;
+//  * at high contention SI-HTM falls behind HTM: the quiescence phase delays
+//    aborting transactions, postponing the SGL fall-back.
+#include "bench/common.hpp"
+#include "hashmap/workload.hpp"
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  const auto sweep = si::bench::Sweep::from_cli(cli);
+  const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
+                                                  si::bench::System::kSiHtm};
+
+  for (const bool high_contention : {false, true}) {
+    si::hashmap::WorkloadConfig wcfg;
+    wcfg.buckets = high_contention ? 10 : 1000;
+    wcfg.avg_chain = 200;
+    wcfg.ro_pct = 50;
+    si::bench::run_panel(
+        std::string("Fig.7 hashmap 50% RO, large footprint, ") +
+            (high_contention ? "HIGH contention (10 buckets)"
+                             : "LOW contention (1000 buckets)"),
+        systems, sweep, /*tx_scale=*/1e6,
+        [&](int threads) {
+          return std::make_unique<si::hashmap::Workload>(wcfg, threads);
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 8 — hash map, 90% read-only transactions, SMALL footprint
+// (avg. 50 elements per bucket), low and high contention; HTM vs SI-HTM.
+//
+// Paper's findings this harness should reproduce in shape:
+//  * with transactions that mostly fit the TMCAM, SI-HTM cannot beat HTM —
+//    the safety wait taxes update transactions without buying capacity
+//    relief;
+//  * SI-HTM still behaves well in SMT territory at low contention (TMCAM
+//    sharing hurts HTM first).
+#include "bench/common.hpp"
+#include "hashmap/workload.hpp"
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  const auto sweep = si::bench::Sweep::from_cli(cli);
+  const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
+                                                  si::bench::System::kSiHtm};
+
+  for (const bool high_contention : {false, true}) {
+    si::hashmap::WorkloadConfig wcfg;
+    wcfg.buckets = high_contention ? 10 : 1000;
+    wcfg.avg_chain = 50;
+    wcfg.ro_pct = 90;
+    si::bench::run_panel(
+        std::string("Fig.8 hashmap 90% RO, small footprint, ") +
+            (high_contention ? "HIGH contention (10 buckets)"
+                             : "LOW contention (1000 buckets)"),
+        systems, sweep, /*tx_scale=*/1e6,
+        [&](int threads) {
+          return std::make_unique<si::hashmap::Workload>(wcfg, threads);
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Convert the figure benches' text output into tidy CSV.
+
+Usage:
+    ./build/bench/fig6_hashmap_large_ro | python3 scripts/bench_to_csv.py > fig6.csv
+    # or over a captured file:
+    python3 scripts/bench_to_csv.py bench_output.txt > all_figures.csv
+
+Columns: panel, system, threads, throughput_scaled, aborts_tx_pct,
+aborts_nontx_pct, aborts_capacity_pct, aborts_total_pct.
+
+The paper's plots can then be regenerated with any tool; e.g. gnuplot:
+    plot "fig6.csv" using 3:4 with linespoints
+"""
+import csv
+import sys
+
+
+def parse(lines):
+    panel = ""
+    system = ""
+    threads = []
+    series = {}
+    for raw in lines:
+        line = raw.rstrip("\n")
+        if line.startswith("== "):
+            panel = line.strip("= ").strip()
+        elif line.startswith("system: "):
+            system = line[len("system: "):].strip()
+            threads = []
+            series = {}
+        elif line.lstrip().startswith("threads"):
+            threads = [int(tok) for tok in line.split()[1:]]
+        elif line.lstrip().startswith("throughput"):
+            series["throughput"] = [float(tok) for tok in line.split()[-len(threads):]]
+        elif line.lstrip().startswith("aborts% transactional"):
+            series["tx"] = [float(tok) for tok in line.split()[-len(threads):]]
+        elif line.lstrip().startswith("aborts% non-transactional"):
+            series["nontx"] = [float(tok) for tok in line.split()[-len(threads):]]
+        elif line.lstrip().startswith("aborts% capacity"):
+            series["cap"] = [float(tok) for tok in line.split()[-len(threads):]]
+        elif line.lstrip().startswith("aborts% total"):
+            series["total"] = [float(tok) for tok in line.split()[-len(threads):]]
+            for i, n in enumerate(threads):
+                yield {
+                    "panel": panel,
+                    "system": system,
+                    "threads": n,
+                    "throughput_scaled": series["throughput"][i],
+                    "aborts_tx_pct": series["tx"][i],
+                    "aborts_nontx_pct": series["nontx"][i],
+                    "aborts_capacity_pct": series["cap"][i],
+                    "aborts_total_pct": series["total"][i],
+                }
+
+
+def main():
+    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    rows = list(parse(source))
+    if not rows:
+        print("no series found in input", file=sys.stderr)
+        return 1
+    writer = csv.DictWriter(sys.stdout, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

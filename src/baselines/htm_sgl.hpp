@@ -1,0 +1,128 @@
+// Plain-HTM baseline: every transaction runs as a regular (read- and
+// write-tracked) hardware transaction with a single-global-lock fall-back,
+// the standard lock-elision scheme the paper calls "HTM" in section 4.
+//
+// Unlike SI-HTM, the SGL is subscribed *early*: each transaction reads the
+// lock word at begin, so a later acquisition of the lock invalidates the
+// subscribed line and kills every in-flight transaction (these show up as
+// the paper's "non-transactional" aborts).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "p8htm/htm.hpp"
+#include "util/backoff.hpp"
+#include "util/spinlock.hpp"
+#include "util/stats.hpp"
+
+namespace si::baselines {
+
+struct HtmSglConfig {
+  si::p8::HtmConfig htm{};
+  int max_threads = 80;
+  int retries = 10;
+};
+
+class HtmSgl;
+
+/// Access handle for one attempt (hardware path or SGL path).
+class HtmSglTx {
+ public:
+  template <typename T>
+  T read(const T* addr) {
+    return hw_ ? rt_.load(addr) : rt_.plain_load(addr);
+  }
+  template <typename T>
+  void write(T* addr, const T& value) {
+    if (hw_) {
+      rt_.store(addr, value);
+    } else {
+      rt_.plain_store(addr, value);
+    }
+  }
+  void read_bytes(void* dst, const void* src, std::size_t n) {
+    if (hw_) {
+      rt_.load_bytes(dst, src, n);
+    } else {
+      rt_.plain_load_bytes(dst, src, n);
+    }
+  }
+  void write_bytes(void* dst, const void* src, std::size_t n) {
+    if (hw_) {
+      rt_.store_bytes(dst, src, n);
+    } else {
+      rt_.plain_store_bytes(dst, src, n);
+    }
+  }
+
+ private:
+  friend class HtmSgl;
+  HtmSglTx(si::p8::HtmRuntime& rt, bool hw) : rt_(rt), hw_(hw) {}
+  si::p8::HtmRuntime& rt_;
+  bool hw_;
+};
+
+class HtmSgl {
+ public:
+  explicit HtmSgl(HtmSglConfig cfg = {})
+      : cfg_(cfg), rt_(cfg.htm), stats_(static_cast<std::size_t>(cfg.max_threads)) {}
+
+  void register_thread(int tid) { rt_.register_thread(tid); }
+
+  /// Runs `body` as one serializable transaction. `is_ro` is accepted for
+  /// interface parity but ignored: plain HTM has no read-only fast path.
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    (void)is_ro;
+    const int tid = rt_.thread_id();
+    si::util::ThreadStats& st = stats_[static_cast<std::size_t>(tid)];
+
+    for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
+      si::util::Backoff backoff;
+      while (gl_.is_locked()) backoff.pause();  // don't waste an attempt
+      rt_.begin(si::p8::TxMode::kHtm);
+      try {
+        // Early subscription: track the lock word, then check its value.
+        // The registration happens under the lock line's bucket lock, so it
+        // is ordered against an acquirer's kill sweep — we either get killed
+        // by the sweep or observe the lock as taken here.
+        rt_.subscribe_line(&gl_);
+        if (gl_.is_locked()) {
+          rt_.self_abort(si::util::AbortCause::kKilledBySgl);
+        }
+        HtmSglTx tx(rt_, /*hw=*/true);
+        body(tx);
+        rt_.commit();
+        ++st.commits;
+        return;
+      } catch (const si::p8::TxAbort& abort) {
+        st.record_abort(abort.cause);
+        if (abort.cause == si::util::AbortCause::kCapacity) {
+          break;  // persistent failure: retrying cannot help, take the SGL
+        }
+      }
+    }
+
+    gl_.lock(static_cast<std::uint32_t>(tid));
+    // Abort every subscribed transaction, as the store to the lock word does
+    // on real hardware.
+    rt_.kill_line_owners(&gl_, si::util::AbortCause::kKilledBySgl);
+    HtmSglTx tx(rt_, /*hw=*/false);
+    body(tx);
+    gl_.unlock();
+    ++st.commits;
+    ++st.sgl_commits;
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+  si::p8::HtmRuntime& htm() noexcept { return rt_; }
+
+ private:
+  HtmSglConfig cfg_;
+  si::p8::HtmRuntime rt_;
+  si::util::OwnedGlobalLock gl_;
+  std::vector<si::util::ThreadStats> stats_;
+};
+
+}  // namespace si::baselines

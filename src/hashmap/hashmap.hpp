@@ -1,0 +1,185 @@
+// Transactional chained hash map — the micro-benchmark of paper section 4.1.
+//
+// Clients perform lookup (read-only), insert and remove (update)
+// transactions. Nodes and bucket heads are aligned to the modelled 128-byte
+// cache line, so a traversal of a chain with L nodes touches L + 1 lines —
+// the paper's "operations on a key in that bucket may need to read from 200
+// cache lines at most" configuration corresponds to an average chain of 200.
+//
+// All member functions are templates over the transaction-handle concept
+// (read/write of trivially-copyable values), so the same data structure runs
+// on HTM, SI-HTM, P8TM, Silo and the discrete-event simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hashmap/node_pool.hpp"
+#include "util/cacheline.hpp"
+
+namespace si::hashmap {
+
+struct alignas(si::util::kLineSize) Node {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+  Node* next = nullptr;
+};
+
+using Pool = NodePool<Node>;
+
+class HashMap {
+ public:
+  /// `n_buckets` tunes contention (1000 = low, 10 = high in the paper).
+  explicit HashMap(std::size_t n_buckets) : buckets_(n_buckets) {}
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Upper bound on traversal steps, guarding against transient cycles seen
+  /// by optimistic (Silo) readers racing recycled nodes.
+  static constexpr std::size_t kMaxTraversal = std::size_t{1} << 20;
+
+  /// Transactional lookup; returns true and fills `*out` if found.
+  template <typename Tx>
+  bool lookup(Tx& tx, std::uint64_t key, std::uint64_t* out) const {
+    const Node* n = tx.read(&head_of(key).head);
+    std::size_t steps = 0;
+    while (n != nullptr && ++steps < kMaxTraversal) {
+      const std::uint64_t k = tx.read(&n->key);
+      if (k == key) {
+        if (out != nullptr) *out = tx.read(&n->value);
+        return true;
+      }
+      n = tx.read(&n->next);
+    }
+    return false;
+  }
+
+  /// Transactional insert. Traverses the whole chain (duplicate check —
+  /// this is what gives update transactions their large read footprint),
+  /// then either updates the existing value in place or prepends `fresh`.
+  /// Returns true iff `fresh` was linked in.
+  ///
+  /// `fresh` is allocated by the caller *outside* the transaction (so a
+  /// retried attempt reuses the same node instead of leaking one per abort)
+  /// and may be returned to the pool if unused after commit — it was never
+  /// published, so immediate reuse is safe.
+  template <typename Tx>
+  bool insert(Tx& tx, std::uint64_t key, std::uint64_t value, Node* fresh) {
+    Head& h = head_of(key);
+    Node* first = tx.read(&h.head);
+    Node* n = first;
+    std::size_t steps = 0;
+    while (n != nullptr && ++steps < kMaxTraversal) {
+      if (tx.read(&n->key) == key) {
+        tx.write(&n->value, value);
+        return false;
+      }
+      n = tx.read(&n->next);
+    }
+    // The fresh node is private until the head pointer is published, but its
+    // initialisation still goes through the transaction so that an abort
+    // rolls it back and, on buffered-write backends, the publication and the
+    // payload install atomically together.
+    tx.write(&fresh->key, key);
+    tx.write(&fresh->value, value);
+    tx.write(&fresh->next, first);
+    tx.write(&h.head, fresh);
+    return true;
+  }
+
+  /// Multiset-style prepend: links `fresh` at the head without traversing.
+  /// This is the benchmark's insert (paper section 4.1): update transactions
+  /// have *small* footprints — a couple of written lines — while lookups
+  /// carry the large read footprints. It also keeps insert/remove pairs
+  /// size-neutral, so the benchmark's footprint is stationary.
+  template <typename Tx>
+  void prepend(Tx& tx, std::uint64_t key, std::uint64_t value, Node* fresh) {
+    Head& h = head_of(key);
+    Node* first = tx.read(&h.head);
+    tx.write(&fresh->key, key);
+    tx.write(&fresh->value, value);
+    tx.write(&fresh->next, first);
+    tx.write(&h.head, fresh);
+  }
+
+  /// Transactional remove of the first node matching `key`. On success,
+  /// `*unlinked` receives the node; the caller must `pool.retire` it only
+  /// after the transaction commits.
+  ///
+  /// Read promotion (paper section 2.1): under snapshot isolation, two
+  /// removes of *adjacent* nodes have disjoint write sets (each writes only
+  /// its predecessor's link), so SI would commit both — a write skew that
+  /// leaves the second node reachable although retired, corrupting the chain
+  /// once the node is reused. Re-writing the removed node's own link
+  /// promotes that read into the write set, turning the skew into a
+  /// write-write conflict that aborts one of the removes. This is exactly
+  /// the fix the paper prescribes for making programs serializable under SI,
+  /// and it is what makes this benchmark "serializable under SI" like TPC-C.
+  template <typename Tx>
+  bool remove(Tx& tx, std::uint64_t key, Node** unlinked) {
+    Head& h = head_of(key);
+    Node* n = tx.read(&h.head);
+    Node* prev = nullptr;
+    std::size_t steps = 0;
+    while (n != nullptr && ++steps < kMaxTraversal) {
+      if (tx.read(&n->key) == key) {
+        Node* next = tx.read(&n->next);
+        if (prev == nullptr) {
+          tx.write(&h.head, next);
+        } else {
+          tx.write(&prev->next, next);
+        }
+        tx.write(&n->next, next);  // read promotion, see above
+        *unlinked = n;
+        return true;
+      }
+      prev = n;
+      n = tx.read(&n->next);
+    }
+    return false;
+  }
+
+  /// Non-transactional population for single-threaded setup.
+  void seed(std::uint64_t key, std::uint64_t value, Pool& pool) {
+    Head& h = head_of(key);
+    Node* fresh = pool.allocate();
+    fresh->key = key;
+    fresh->value = value;
+    fresh->next = h.head;
+    h.head = fresh;
+  }
+
+  /// Non-transactional size scan (setup/validation only).
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (const auto& b : buckets_) {
+      for (const Node* n = b.head; n != nullptr; n = n->next) ++total;
+    }
+    return total;
+  }
+
+  /// Non-transactional sum of all values (invariant checks in tests).
+  std::uint64_t value_sum() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) {
+      for (const Node* n = b.head; n != nullptr; n = n->next) total += n->value;
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(si::util::kLineSize) Head {
+    Node* head = nullptr;
+  };
+
+  Head& head_of(std::uint64_t key) noexcept { return buckets_[key % buckets_.size()]; }
+  const Head& head_of(std::uint64_t key) const noexcept {
+    return buckets_[key % buckets_.size()];
+  }
+
+  std::vector<Head> buckets_;
+};
+
+}  // namespace si::hashmap

@@ -1,0 +1,60 @@
+// Per-thread node allocator with generation-deferred reuse.
+//
+// Nodes unlinked by a committed remove may still be traversed by
+// transactions that were in flight when the remove committed. Under SI-HTM /
+// P8TM the remover's quiescence wait guarantees those readers finish before
+// HTMEnd, and under plain HTM the conflict detection kills one side — but
+// Silo's optimistic readers can dangle briefly. Deferring reuse by a few
+// generations (advanced once per committed update) keeps recycled nodes out
+// of any plausible reader window; the arena itself is never returned to the
+// OS, so even a pathological straggler reads stale-but-valid memory whose
+// version validation then fails.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace si::hashmap {
+
+template <typename Node>
+class NodePool {
+ public:
+  static constexpr int kGenerations = 4;
+
+  /// Returns a node, reusing retired ones when available.
+  Node* allocate() {
+    if (!free_.empty()) {
+      Node* n = free_.back();
+      free_.pop_back();
+      return n;
+    }
+    arena_.emplace_back();
+    return &arena_.back();
+  }
+
+  /// Retires a node; it becomes reusable kGenerations advances later.
+  void retire(Node* n) { pending_[cursor_].push_back(n); }
+
+  /// Returns a node that was never published to the shared structure
+  /// (e.g. an insert found the key already present); immediately reusable.
+  void release(Node* n) { free_.push_back(n); }
+
+  /// Called once per committed update transaction by the owning thread.
+  void advance() {
+    cursor_ = (cursor_ + 1) % kGenerations;
+    auto& gen = pending_[cursor_];
+    free_.insert(free_.end(), gen.begin(), gen.end());
+    gen.clear();
+  }
+
+  std::size_t allocated() const noexcept { return arena_.size(); }
+
+ private:
+  std::deque<Node> arena_;  // stable addresses
+  std::vector<Node*> free_;
+  std::vector<Node*> pending_[kGenerations];
+  int cursor_ = 0;
+};
+
+}  // namespace si::hashmap

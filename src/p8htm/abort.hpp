@@ -1,0 +1,20 @@
+// Transaction-abort signalling.
+//
+// Real HTM aborts by restoring register state at tbegin; the emulation aborts
+// by throwing TxAbort after the undo log has been rolled back, which unwinds
+// the transaction body (running destructors of its locals — strictly safer
+// than the hardware's register snapshot) back to the executor's retry loop.
+#pragma once
+
+#include "util/stats.hpp"
+
+namespace si::p8 {
+
+/// Thrown to unwind an aborted transaction. By the time this propagates, the
+/// transaction's memory effects are already rolled back and its conflict-table
+/// registrations released; handlers only need to decide on retry policy.
+struct TxAbort {
+  si::util::AbortCause cause = si::util::AbortCause::kNone;
+};
+
+}  // namespace si::p8

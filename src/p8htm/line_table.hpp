@@ -1,0 +1,125 @@
+// Conflict table: which transaction owns which cache line, at 128-byte
+// granularity.
+//
+// This is the emulation's stand-in for the coherence-based conflict detection
+// of P8-HTM. Each line that some in-flight transaction tracks has an entry
+// recording the (single) transactional writer and the set of transactional
+// readers. All decisions about who dies on a conflicting access are made by
+// HtmRuntime while holding the entry's bucket lock, which makes the
+// check-then-access sequence atomic per line — the property that guarantees
+// the emulation never lets a read return uncommitted data (DESIGN.md §5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p8htm/topology.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace si::p8 {
+
+/// Dense bitmap over thread ids [0, kMaxThreads).
+struct ReaderSet {
+  std::uint64_t bits[kMaxThreads / 64] = {};
+
+  void set(int tid) noexcept { bits[tid >> 6] |= std::uint64_t{1} << (tid & 63); }
+  void clear(int tid) noexcept { bits[tid >> 6] &= ~(std::uint64_t{1} << (tid & 63)); }
+  bool test(int tid) const noexcept {
+    return (bits[tid >> 6] >> (tid & 63)) & 1;
+  }
+  bool empty() const noexcept {
+    for (auto w : bits)
+      if (w) return false;
+    return true;
+  }
+  /// True iff any thread other than `tid` is present.
+  bool any_other(int tid) const noexcept {
+    for (int i = 0; i < kMaxThreads / 64; ++i) {
+      std::uint64_t w = bits[i];
+      if (i == (tid >> 6)) w &= ~(std::uint64_t{1} << (tid & 63));
+      if (w) return true;
+    }
+    return false;
+  }
+  /// Invokes fn(tid) for every member except `skip_tid` (pass -1 for none).
+  template <typename Fn>
+  void for_each_other(int skip_tid, Fn&& fn) const {
+    for (int i = 0; i < kMaxThreads / 64; ++i) {
+      std::uint64_t w = bits[i];
+      while (w) {
+        const int bit = __builtin_ctzll(w);
+        w &= w - 1;
+        const int tid = i * 64 + bit;
+        if (tid != skip_tid) fn(tid);
+      }
+    }
+  }
+};
+
+/// Conflict state of one cache line. kNoWriter in `writer` means no
+/// transactional writer currently owns the line.
+struct LineEntry {
+  static constexpr std::int32_t kNoWriter = -1;
+
+  si::util::LineId line = 0;
+  std::int32_t writer = kNoWriter;
+  ReaderSet readers;
+
+  bool unowned() const noexcept { return writer == kNoWriter && readers.empty(); }
+};
+
+/// Hash table of LineEntry, sharded into spinlocked buckets. Entries are
+/// created on first registration and reclaimed when their last owner leaves.
+class LineTable {
+ public:
+  struct Bucket {
+    si::util::Spinlock lock;
+    std::vector<LineEntry> entries;
+
+    /// Entry for `line`, or nullptr. Caller must hold `lock`.
+    LineEntry* find(si::util::LineId line) noexcept {
+      for (auto& e : entries)
+        if (e.line == line) return &e;
+      return nullptr;
+    }
+
+    /// Entry for `line`, created if absent. Caller must hold `lock`.
+    LineEntry& find_or_create(si::util::LineId line) {
+      if (LineEntry* e = find(line)) return *e;
+      return entries.emplace_back(LineEntry{.line = line, .writer = LineEntry::kNoWriter, .readers = {}});
+    }
+
+    /// Removes `line`'s entry if it has no owners. Caller must hold `lock`.
+    void reclaim_if_unowned(si::util::LineId line) noexcept {
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].line == line) {
+          if (entries[i].unowned()) {
+            entries[i] = entries.back();
+            entries.pop_back();
+          }
+          return;
+        }
+      }
+    }
+  };
+
+  explicit LineTable(unsigned bits) : mask_((std::size_t{1} << bits) - 1),
+                                      buckets_(std::size_t{1} << bits) {}
+
+  Bucket& bucket_for(si::util::LineId line) noexcept {
+    return buckets_[hash(line) & mask_];
+  }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ private:
+  static std::size_t hash(si::util::LineId line) noexcept {
+    return static_cast<std::size_t>(line * 0x9E3779B97F4A7C15ULL >> 32);
+  }
+
+  std::size_t mask_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace si::p8

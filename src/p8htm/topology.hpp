@@ -1,0 +1,45 @@
+// Modelled machine topology: cores, SMT ways and virtual thread pinning.
+//
+// The paper's testbed is one POWER8 8284-22A socket: 10 cores, SMT-8 (up to
+// 80 hardware threads), one 8 KiB TMCAM per core shared by the co-located SMT
+// threads. The artifact pins software threads scatter-style, filling all
+// cores before doubling up on SMT; thread counts {1,2,4,8} therefore run one
+// thread per core, 20 runs SMT-2, 40 SMT-4 and 80 SMT-8.
+#pragma once
+
+#include <cstddef>
+
+#include "util/cacheline.hpp"
+
+namespace si::p8 {
+
+/// Hard upper bound on registered threads (sizes reader bitmaps).
+inline constexpr int kMaxThreads = 128;
+
+struct Topology {
+  int cores = 10;  ///< physical cores sharing nothing
+  int smt = 8;     ///< hardware threads per core (SMT level)
+
+  /// Scatter pinning: thread i runs on core i mod cores.
+  constexpr int core_of(int tid) const noexcept { return tid % cores; }
+
+  constexpr int max_threads() const noexcept { return cores * smt; }
+};
+
+struct HtmConfig {
+  Topology topo{};
+
+  /// TMCAM entries per core (POWER8: 8 KiB / 128 B lines = 64).
+  std::size_t tmcam_lines = si::util::kTmcamLinesPerCore;
+
+  /// Log2 of the number of conflict-table buckets.
+  unsigned line_table_bits = 16;
+
+  /// Fraction (percent) of ROT reads that are nonetheless tracked in the
+  /// TMCAM, modelling the paper's footnote 1 ("due to implementation-specific
+  /// reasons, the TMCAM can also track a small fraction of reads in a ROT").
+  /// 0 disables the effect; the ablation benches sweep it.
+  unsigned rot_read_tracking_pct = 0;
+};
+
+}  // namespace si::p8

@@ -1,0 +1,117 @@
+// Unified façade over the four concurrency-control backends the paper
+// evaluates (section 4): HTM, SI-HTM, P8TM and Silo.
+//
+// Workload code written against the generic transaction-handle concept
+// (`read`, `write`, `read_bytes`, `write_bytes`) runs unmodified on any
+// backend; `Runtime::execute` dispatches through a generic lambda, so there
+// is no virtual call on the access path.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+
+#include "baselines/htm_sgl.hpp"
+#include "baselines/p8tm.hpp"
+#include "baselines/silo.hpp"
+#include "sihtm/sihtm.hpp"
+#include "util/stats.hpp"
+
+namespace si::runtime {
+
+enum class Backend { kHtm, kSiHtm, kP8tm, kSilo };
+
+std::string_view to_string(Backend b) noexcept;
+
+/// Parses "htm" / "si-htm" / "p8tm" / "silo" (the names used by bench CLIs).
+Backend backend_from_string(std::string_view name);
+
+struct RuntimeConfig {
+  Backend backend = Backend::kSiHtm;
+  si::p8::HtmConfig htm{};
+  int max_threads = 80;
+  int retries = 10;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeConfig& cfg) : backend_(cfg.backend) {
+    switch (cfg.backend) {
+      case Backend::kHtm:
+        htm_ = std::make_unique<si::baselines::HtmSgl>(si::baselines::HtmSglConfig{
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+        break;
+      case Backend::kSiHtm:
+        sihtm_ = std::make_unique<si::sihtm::SiHtm>(si::sihtm::SiHtmConfig{
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+        break;
+      case Backend::kP8tm:
+        p8tm_ = std::make_unique<si::baselines::P8tm>(si::baselines::P8tmConfig{
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+        break;
+      case Backend::kSilo:
+        silo_ = std::make_unique<si::baselines::Silo>(
+            si::baselines::SiloConfig{.max_threads = cfg.max_threads});
+        break;
+    }
+  }
+
+  Backend backend() const noexcept { return backend_; }
+
+  void register_thread(int tid) {
+    if (htm_) htm_->register_thread(tid);
+    if (sihtm_) sihtm_->register_thread(tid);
+    if (p8tm_) p8tm_->register_thread(tid);
+    if (silo_) silo_->register_thread(tid);
+  }
+
+  /// Runs `body(auto& tx)` as one transaction on the configured backend.
+  /// The body must be a generic callable (it is instantiated once per
+  /// backend transaction-handle type).
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    if (sihtm_) {
+      sihtm_->execute(is_ro, body);
+    } else if (htm_) {
+      htm_->execute(is_ro, body);
+    } else if (p8tm_) {
+      p8tm_->execute(is_ro, body);
+    } else {
+      silo_->execute(is_ro, body);
+    }
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    if (sihtm_) return sihtm_->thread_stats();
+    if (htm_) return htm_->thread_stats();
+    if (p8tm_) return p8tm_->thread_stats();
+    return silo_->thread_stats();
+  }
+
+ private:
+  Backend backend_;
+  std::unique_ptr<si::baselines::HtmSgl> htm_;
+  std::unique_ptr<si::sihtm::SiHtm> sihtm_;
+  std::unique_ptr<si::baselines::P8tm> p8tm_;
+  std::unique_ptr<si::baselines::Silo> silo_;
+};
+
+inline std::string_view to_string(Backend b) noexcept {
+  switch (b) {
+    case Backend::kHtm: return "HTM";
+    case Backend::kSiHtm: return "SI-HTM";
+    case Backend::kP8tm: return "P8TM";
+    case Backend::kSilo: return "Silo";
+  }
+  return "?";
+}
+
+inline Backend backend_from_string(std::string_view name) {
+  if (name == "htm" || name == "HTM") return Backend::kHtm;
+  if (name == "si-htm" || name == "sihtm" || name == "SI-HTM") return Backend::kSiHtm;
+  if (name == "p8tm" || name == "P8TM") return Backend::kP8tm;
+  if (name == "silo" || name == "Silo") return Backend::kSilo;
+  throw std::invalid_argument("unknown backend: " + std::string(name));
+}
+
+}  // namespace si::runtime

@@ -1,0 +1,144 @@
+#include "sim/backends.hpp"
+
+#include <algorithm>
+
+namespace si::sim {
+
+using si::util::AbortCause;
+using si::util::LineId;
+using si::util::line_of;
+
+// --- SimHtmSgl -----------------------------------------------------------
+
+void SimHtmSgl::kill_subscriber(int tid) {
+  eng_.kill_thread_tx(tid, AbortCause::kKilledBySgl);
+}
+
+// --- SimP8tm ------------------------------------------------------------
+
+void SimP8tmTx::read_bytes(void* dst, const void* src, std::size_t n) {
+  if (path_ == Path::kRot) {
+    auto& log = owner_.logs_[static_cast<std::size_t>(owner_.eng_.current_tid())];
+    const auto first = line_of(src);
+    const auto last =
+        line_of(static_cast<const unsigned char*>(src) + (n ? n - 1 : 0));
+    owner_.eng_.wait(owner_.eng_.config().lat.instr_read_extra *
+                     static_cast<double>(last - first + 1));
+    for (auto line = first; line <= last; ++line) {
+      log.reads.push_back({line, owner_.versions_.version(line)});
+    }
+  }
+  owner_.eng_.access(dst, src, n, /*is_write=*/false, /*tracked=*/false,
+                     AbortCause::kConflictRead);
+}
+
+void SimP8tmTx::write_bytes(void* dst, const void* src, std::size_t n) {
+  auto& log = owner_.logs_[static_cast<std::size_t>(owner_.eng_.current_tid())];
+  const auto first = line_of(dst);
+  const auto last = line_of(static_cast<unsigned char*>(dst) + (n ? n - 1 : 0));
+  for (auto line = first; line <= last; ++line) log.writes.push_back(line);
+  owner_.eng_.access(dst, src, n, /*is_write=*/true,
+                     /*tracked=*/path_ == Path::kRot, AbortCause::kConflictWrite);
+}
+
+// --- SimSilo ------------------------------------------------------------
+
+void SimSiloTx::read_bytes(void* dst, const void* src, std::size_t n) {
+  auto& eng = owner_.eng_;
+  auto& ctx = owner_.ctxs_[static_cast<std::size_t>(eng.current_tid())];
+  const auto& lat = eng.config().lat;
+  const auto first = line_of(src);
+  const auto last = line_of(static_cast<const unsigned char*>(src) + (n ? n - 1 : 0));
+  const auto span = static_cast<double>(last - first + 1);
+  eng.wait((lat.mem_access + lat.occ_read_extra) * span);
+
+  // Spin (bounded) on locked lines; from here to the copy there is no wait
+  // point, so version read + data copy are atomic in virtual time.
+  for (auto line = first; line <= last; ++line) {
+    int spins = 0;
+    while (owner_.versions_.locked(line)) {
+      if (++spins > 64) throw TxAbort{AbortCause::kConflictRead};
+      eng.wait(lat.quiesce_poll);
+    }
+  }
+  std::memcpy(dst, src, n);
+  for (auto line = first; line <= last; ++line) {
+    bool seen = false;
+    for (const auto& r : ctx.reads) {
+      if (r.line == line) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) ctx.reads.push_back({line, owner_.versions_.version(line)});
+  }
+
+  // Read-own-writes overlay.
+  auto* base = static_cast<unsigned char*>(dst);
+  const auto* req_lo = static_cast<const unsigned char*>(src);
+  const auto* req_hi = req_lo + n;
+  for (const auto& w : ctx.writes) {
+    const auto* w_lo = static_cast<const unsigned char*>(w.addr);
+    const auto* w_hi = w_lo + w.len;
+    const auto* lo = std::max(req_lo, w_lo);
+    const auto* hi = std::min(req_hi, w_hi);
+    if (lo < hi) {
+      std::memcpy(base + (lo - req_lo), ctx.buffer.data() + w.offset + (lo - w_lo),
+                  static_cast<std::size_t>(hi - lo));
+    }
+  }
+}
+
+void SimSiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
+  auto& eng = owner_.eng_;
+  auto& ctx = owner_.ctxs_[static_cast<std::size_t>(eng.current_tid())];
+  eng.wait(eng.config().lat.mem_access);  // local buffering
+  const auto offset = static_cast<std::uint32_t>(ctx.buffer.size());
+  ctx.buffer.resize(offset + n);
+  std::memcpy(ctx.buffer.data() + offset, src, n);
+  ctx.writes.push_back({dst, static_cast<std::uint32_t>(n), offset});
+}
+
+bool SimSilo::try_commit(Ctx& ctx) {
+  const auto& lat = eng_.config().lat;
+
+  ctx.write_lines.clear();
+  for (const auto& w : ctx.writes) {
+    const auto first = line_of(w.addr);
+    const auto last = line_of(static_cast<unsigned char*>(w.addr) + w.len - 1);
+    for (auto line = first; line <= last; ++line) ctx.write_lines.push_back(line);
+  }
+  std::sort(ctx.write_lines.begin(), ctx.write_lines.end());
+  ctx.write_lines.erase(std::unique(ctx.write_lines.begin(), ctx.write_lines.end()),
+                        ctx.write_lines.end());
+
+  std::size_t locked = 0;
+  for (; locked < ctx.write_lines.size(); ++locked) {
+    eng_.wait(lat.occ_commit_per_entry);
+    if (!versions_.try_lock(ctx.write_lines[locked])) break;
+  }
+  if (locked != ctx.write_lines.size()) {
+    for (std::size_t i = 0; i < locked; ++i) versions_.unlock(ctx.write_lines[i], false);
+    return false;
+  }
+
+  eng_.wait(lat.occ_commit_per_entry * static_cast<double>(ctx.reads.size()));
+  for (const auto& r : ctx.reads) {
+    const bool ours = std::binary_search(ctx.write_lines.begin(),
+                                         ctx.write_lines.end(), r.line);
+    if (versions_.version(r.line) != r.version ||
+        (versions_.locked(r.line) && !ours)) {
+      for (auto line : ctx.write_lines) versions_.unlock(line, false);
+      return false;
+    }
+  }
+
+  for (const auto& w : ctx.writes) {
+    std::memcpy(w.addr, ctx.buffer.data() + w.offset, w.len);
+  }
+  eng_.wait(lat.occ_commit_per_entry * static_cast<double>(ctx.write_lines.size()));
+  for (auto line : ctx.write_lines) versions_.unlock(line, true);
+  return true;
+}
+
+}  // namespace si::sim

@@ -1,0 +1,648 @@
+// Virtual-time implementations of the four concurrency-control protocols the
+// paper evaluates. Each class exposes the same backend concept as the
+// real-thread implementations (`execute(is_ro, body)`, `thread_stats()`), so
+// the templated workloads (hash map, TPC-C) drive them unmodified inside the
+// simulator. The protocol logic transcribes Algorithms 1 & 2 of the paper —
+// the state array encoding, the safety wait, the read-only fast path and the
+// quiescent SGL fall-back — with each step charged its modelled latency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace si::sim {
+
+/// Shared state array (Algorithm 1 line 1) — plain data: the simulation is
+/// single-threaded, interleaving happens only at wait points.
+class SimStateTable {
+ public:
+  static constexpr std::uint64_t kInactive = 0;
+  static constexpr std::uint64_t kCompleted = 1;
+
+  explicit SimStateTable(int n) : slots_(static_cast<std::size_t>(n), 0) {}
+  std::uint64_t get(int tid) const { return slots_[static_cast<std::size_t>(tid)]; }
+  void set(int tid, std::uint64_t v) { slots_[static_cast<std::size_t>(tid)] = v; }
+  int size() const { return static_cast<int>(slots_.size()); }
+  std::uint64_t next_timestamp() { return ++clock_ + 1; }  // values > 1
+
+ private:
+  std::vector<std::uint64_t> slots_;
+  std::uint64_t clock_ = 1;
+};
+
+/// Simulated single global lock.
+struct SimGlobalLock {
+  int owner = -1;
+  bool locked() const { return owner != -1; }
+};
+
+/// Per-line version/lock words for the software CCs in the simulator.
+class SimVersionTable {
+ public:
+  std::uint64_t version(si::util::LineId line) const {
+    auto it = words_.find(line);
+    return it == words_.end() ? 0 : it->second.version;
+  }
+  bool locked(si::util::LineId line) const {
+    auto it = words_.find(line);
+    return it != words_.end() && it->second.locked;
+  }
+  bool try_lock(si::util::LineId line) {
+    auto& w = words_[line];
+    if (w.locked) return false;
+    w.locked = true;
+    return true;
+  }
+  void unlock(si::util::LineId line, bool bump) {
+    auto& w = words_[line];
+    w.locked = false;
+    if (bump) w.version += 1;
+  }
+  void bump(si::util::LineId line) { words_[line].version += 1; }
+
+ private:
+  struct Word {
+    std::uint64_t version = 0;
+    bool locked = false;
+  };
+  std::unordered_map<si::util::LineId, Word> words_;
+};
+
+
+/// Randomized exponential backoff after an abort. Real hardware breaks
+/// symmetric abort ping-pong with timing noise; the deterministic simulator
+/// must inject (seeded, reproducible) jitter instead, or two lockstep
+/// transactions can kill each other forever.
+class SimBackoff {
+ public:
+  explicit SimBackoff(int n_threads) {
+    for (int t = 0; t < n_threads; ++t) rngs_.emplace_back(0xB0FF ^ (t * 2654435761u));
+  }
+  double delay(int tid, int attempt, double base) {
+    const unsigned shift = attempt < 6 ? static_cast<unsigned>(attempt) : 6u;
+    return base + static_cast<double>(
+                      rngs_[static_cast<std::size_t>(tid)].below(
+                          static_cast<std::uint64_t>(base) << shift));
+  }
+
+ private:
+  std::vector<si::util::Xoshiro256> rngs_;
+};
+
+// ---------------------------------------------------------------------------
+// SI-HTM
+// ---------------------------------------------------------------------------
+
+class SimSiHtm;
+
+class SimSiHtmTx {
+ public:
+  enum class Path : unsigned char { kRot, kReadOnly, kSgl };
+
+  template <typename T>
+  T read(const T* addr) {
+    T out;
+    read_bytes(&out, addr, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void write(T* addr, const T& v) {
+    write_bytes(addr, &v, sizeof(T));
+  }
+
+  void read_bytes(void* dst, const void* src, std::size_t n) {
+    // ROT reads are untracked; RO/SGL reads are plain — identical routing.
+    eng_.access(dst, src, n, /*is_write=*/false, /*tracked=*/false,
+                si::util::AbortCause::kConflictRead);
+  }
+  void write_bytes(void* dst, const void* src, std::size_t n) {
+    eng_.access(dst, src, n, /*is_write=*/true,
+                /*tracked=*/path_ == Path::kRot,
+                si::util::AbortCause::kConflictWrite);
+  }
+
+  Path path() const noexcept { return path_; }
+
+  /// Public so alternative runtimes (e.g. the unsafe raw-ROT variant used by
+  /// bench/ablation_quiescence) can reuse the handle.
+  SimSiHtmTx(SimEngine& eng, Path path) : eng_(eng), path_(path) {}
+
+ private:
+  SimEngine& eng_;
+  Path path_;
+};
+
+class SimSiHtm {
+ public:
+  /// `straggler_kill_after_ns` > 0 enables the paper's future-work "killing
+  /// alternative": a completed transaction that has safety-waited longer
+  /// than the threshold on one straggler kills its hardware transaction.
+  explicit SimSiHtm(SimEngine& eng, int retries = 10,
+                    double straggler_kill_after_ns = 0)
+      : eng_(eng),
+        retries_(retries),
+        straggler_kill_after_ns_(straggler_kill_after_ns),
+        state_(eng.threads()),
+        backoff_(eng.threads()) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    const int tid = eng_.current_tid();
+    auto& st = eng_.stats(tid);
+    const auto& lat = eng_.config().lat;
+
+    if (is_ro) {
+      sync_with_gl(tid);
+      SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kReadOnly);
+      body(tx);
+      eng_.wait(lat.fence + lat.state_publish);  // lwsync + state update
+      state_.set(tid, SimStateTable::kInactive);
+      ++st.commits;
+      ++st.ro_commits;
+      return;
+    }
+
+    for (int attempt = 0; attempt < retries_; ++attempt) {
+      sync_with_gl(tid);
+      eng_.wait(lat.rot_begin);
+      eng_.tx_begin(SimTxMode::kRot);
+      bool committed = true;
+      si::util::AbortCause cause = si::util::AbortCause::kNone;
+      try {
+        SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kRot);
+        body(tx);
+        tx_end(tid, st);
+      } catch (const TxAbort& abort) {
+        // NOTE: no fiber switch inside the catch — an active exception must
+        // be fully handled before yielding, or two fibers interleave the
+        // thread's __cxa exception stack in non-LIFO order.
+        st.record_abort(abort.cause);
+        committed = false;
+        cause = abort.cause;
+      }
+      if (committed) {
+        ++st.commits;
+        return;
+      }
+      state_.set(tid, SimStateTable::kInactive);
+      if (cause == si::util::AbortCause::kCapacity) {
+        break;  // persistent failure: take the SGL immediately
+      }
+      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
+    }
+
+    // SGL fall-back: quiescent acquisition.
+    state_.set(tid, SimStateTable::kInactive);
+    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+    gl_.owner = tid;
+    eng_.wait(lat.sgl_acquire);
+    for (int c = 0; c < state_.size(); ++c) {
+      if (c == tid) continue;
+      eng_.wait_until([&, c] { return state_.get(c) == SimStateTable::kInactive; },
+                      lat.quiesce_poll);
+    }
+    SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kSgl);
+    body(tx);
+    gl_.owner = -1;
+    ++st.commits;
+    ++st.sgl_commits;
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+
+ private:
+  void sync_with_gl(int tid) {
+    const auto& lat = eng_.config().lat;
+    for (;;) {
+      state_.set(tid, state_.next_timestamp());
+      eng_.wait(lat.state_publish + lat.fence);
+      if (!gl_.locked()) return;
+      state_.set(tid, SimStateTable::kInactive);
+      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+    }
+  }
+
+  void tx_end(int tid, si::util::ThreadStats& st) {
+    const auto& lat = eng_.config().lat;
+    eng_.wait(lat.suspend_resume + lat.state_publish + lat.fence);
+    state_.set(tid, SimStateTable::kCompleted);
+    eng_.check_killed();  // conflicts during the suspended window
+
+    std::uint64_t snapshot[si::p8::kMaxThreads];
+    for (int c = 0; c < state_.size(); ++c) snapshot[c] = state_.get(c);
+    eng_.wait(lat.state_scan * state_.size());
+
+    const double wait_started = eng_.now();
+    for (int c = 0; c < state_.size(); ++c) {
+      if (c == tid || snapshot[c] <= SimStateTable::kCompleted) continue;
+      const double straggler_since = eng_.now();
+      while (state_.get(c) == snapshot[c]) {
+        eng_.check_killed();  // a read of our write set kills us here
+        if (straggler_kill_after_ns_ > 0 &&
+            eng_.now() - straggler_since > straggler_kill_after_ns_) {
+          eng_.kill_thread_tx(c, si::util::AbortCause::kKilledAsStraggler);
+        }
+        eng_.wait(lat.quiesce_poll);
+      }
+    }
+    st.wait_cycles += static_cast<std::uint64_t>(eng_.now() - wait_started);
+
+    eng_.wait(lat.tx_commit);
+    eng_.tx_commit();
+    state_.set(tid, SimStateTable::kInactive);
+  }
+
+  SimEngine& eng_;
+  int retries_;
+  double straggler_kill_after_ns_;
+  SimStateTable state_;
+  SimGlobalLock gl_;
+  SimBackoff backoff_;
+};
+
+// ---------------------------------------------------------------------------
+// Plain HTM + early-subscribed SGL
+// ---------------------------------------------------------------------------
+
+class SimHtmSgl;
+
+class SimHtmSglTx {
+ public:
+  template <typename T>
+  T read(const T* addr) {
+    T out;
+    read_bytes(&out, addr, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void write(T* addr, const T& v) {
+    write_bytes(addr, &v, sizeof(T));
+  }
+  void read_bytes(void* dst, const void* src, std::size_t n) {
+    eng_.access(dst, src, n, false, hw_, si::util::AbortCause::kConflictRead);
+  }
+  void write_bytes(void* dst, const void* src, std::size_t n) {
+    eng_.access(dst, src, n, true, hw_, si::util::AbortCause::kConflictWrite);
+  }
+
+ private:
+  friend class SimHtmSgl;
+  SimHtmSglTx(SimEngine& eng, bool hw) : eng_(eng), hw_(hw) {}
+  SimEngine& eng_;
+  bool hw_;
+};
+
+class SimHtmSgl {
+ public:
+  explicit SimHtmSgl(SimEngine& eng, int retries = 10)
+      : eng_(eng),
+        retries_(retries),
+        subscribed_(static_cast<std::size_t>(eng.threads()), 0),
+        backoff_(eng.threads()) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    (void)is_ro;  // plain HTM has no read-only fast path
+    const int tid = eng_.current_tid();
+    auto& st = eng_.stats(tid);
+    const auto& lat = eng_.config().lat;
+
+    for (int attempt = 0; attempt < retries_; ++attempt) {
+      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+      eng_.wait(lat.tx_begin);
+      eng_.tx_begin(SimTxMode::kHtm);
+      subscribed_[static_cast<std::size_t>(tid)] = 1;
+      bool committed = true;
+      si::util::AbortCause cause = si::util::AbortCause::kNone;
+      try {
+        // Early subscription: the lock word enters the read set — modelled
+        // by the subscribed_ flag; acquisition sweeps it below.
+        if (gl_.locked()) {
+          eng_.self_abort(si::util::AbortCause::kKilledBySgl);
+        }
+        SimHtmSglTx tx(eng_, true);
+        body(tx);
+        eng_.wait(lat.tx_commit);
+        eng_.tx_commit();
+      } catch (const TxAbort& abort) {
+        // No fiber switch inside the catch (see SimSiHtm::execute).
+        st.record_abort(abort.cause);
+        committed = false;
+        cause = abort.cause;
+      }
+      subscribed_[static_cast<std::size_t>(tid)] = 0;
+      if (committed) {
+        ++st.commits;
+        return;
+      }
+      if (cause == si::util::AbortCause::kCapacity) {
+        break;  // persistent failure: take the SGL immediately
+      }
+      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
+    }
+
+    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+    gl_.owner = tid;
+    eng_.wait(lat.sgl_acquire);
+    // The store to the lock word invalidates every subscriber.
+    for (int c = 0; c < eng_.threads(); ++c) {
+      if (c != tid && subscribed_[static_cast<std::size_t>(c)] != 0) {
+        kill_subscriber(c);
+      }
+    }
+    SimHtmSglTx tx(eng_, false);
+    body(tx);
+    gl_.owner = -1;
+    ++st.commits;
+    ++st.sgl_commits;
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+
+ private:
+  void kill_subscriber(int tid);
+
+  SimEngine& eng_;
+  int retries_;
+  SimGlobalLock gl_;
+  std::vector<unsigned char> subscribed_;
+  SimBackoff backoff_;
+};
+
+// ---------------------------------------------------------------------------
+// P8TM: ROT + software read tracking + quiescence + validation
+// ---------------------------------------------------------------------------
+
+class SimP8tm;
+
+class SimP8tmTx {
+ public:
+  enum class Path : unsigned char { kRot, kReadOnly, kSgl };
+
+  template <typename T>
+  T read(const T* addr) {
+    T out;
+    read_bytes(&out, addr, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void write(T* addr, const T& v) {
+    write_bytes(addr, &v, sizeof(T));
+  }
+  void read_bytes(void* dst, const void* src, std::size_t n);
+  void write_bytes(void* dst, const void* src, std::size_t n);
+
+ private:
+  friend class SimP8tm;
+  SimP8tmTx(SimP8tm& owner, Path path) : owner_(owner), path_(path) {}
+  SimP8tm& owner_;
+  Path path_;
+};
+
+class SimP8tm {
+ public:
+  explicit SimP8tm(SimEngine& eng, int retries = 10)
+      : eng_(eng),
+        retries_(retries),
+        state_(eng.threads()),
+        logs_(static_cast<std::size_t>(eng.threads())),
+        backoff_(eng.threads()) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    const int tid = eng_.current_tid();
+    auto& st = eng_.stats(tid);
+    const auto& lat = eng_.config().lat;
+
+    if (is_ro) {
+      sync_with_gl(tid);
+      SimP8tmTx tx(*this, SimP8tmTx::Path::kReadOnly);
+      body(tx);
+      eng_.wait(lat.fence + lat.state_publish);
+      state_.set(tid, SimStateTable::kInactive);
+      ++st.commits;
+      ++st.ro_commits;
+      return;
+    }
+
+    for (int attempt = 0; attempt < retries_; ++attempt) {
+      sync_with_gl(tid);
+      auto& log = logs_[static_cast<std::size_t>(tid)];
+      log.reads.clear();
+      log.writes.clear();
+      eng_.wait(lat.rot_begin);
+      eng_.tx_begin(SimTxMode::kRot);
+      bool committed = true;
+      si::util::AbortCause cause = si::util::AbortCause::kNone;
+      try {
+        SimP8tmTx tx(*this, SimP8tmTx::Path::kRot);
+        body(tx);
+        commit_update(tid, st, log);
+      } catch (const TxAbort& abort) {
+        // No fiber switch inside the catch (see SimSiHtm::execute).
+        st.record_abort(abort.cause);
+        committed = false;
+        cause = abort.cause;
+      }
+      if (committed) {
+        ++st.commits;
+        return;
+      }
+      state_.set(tid, SimStateTable::kInactive);
+      if (cause == si::util::AbortCause::kCapacity) {
+        break;  // persistent failure: take the SGL immediately
+      }
+      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
+    }
+
+    state_.set(tid, SimStateTable::kInactive);
+    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+    gl_.owner = tid;
+    eng_.wait(lat.sgl_acquire);
+    for (int c = 0; c < state_.size(); ++c) {
+      if (c == tid) continue;
+      eng_.wait_until([&, c] { return state_.get(c) == SimStateTable::kInactive; },
+                      lat.quiesce_poll);
+    }
+    auto& log = logs_[static_cast<std::size_t>(tid)];
+    log.reads.clear();
+    log.writes.clear();
+    SimP8tmTx tx(*this, SimP8tmTx::Path::kSgl);
+    body(tx);
+    for (auto w : log.writes) versions_.bump(w);
+    gl_.owner = -1;
+    ++st.commits;
+    ++st.sgl_commits;
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+
+ private:
+  friend class SimP8tmTx;
+
+  struct ReadRecord {
+    si::util::LineId line;
+    std::uint64_t version;
+  };
+  struct Log {
+    std::vector<ReadRecord> reads;
+    std::vector<si::util::LineId> writes;
+  };
+
+  void sync_with_gl(int tid) {
+    const auto& lat = eng_.config().lat;
+    for (;;) {
+      state_.set(tid, state_.next_timestamp());
+      eng_.wait(lat.state_publish + lat.fence);
+      if (!gl_.locked()) return;
+      state_.set(tid, SimStateTable::kInactive);
+      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
+    }
+  }
+
+  void commit_update(int tid, si::util::ThreadStats& st, Log& log) {
+    const auto& lat = eng_.config().lat;
+    eng_.wait(lat.suspend_resume + lat.state_publish + lat.fence);
+    state_.set(tid, SimStateTable::kCompleted);
+    eng_.check_killed();
+
+    std::uint64_t snapshot[si::p8::kMaxThreads];
+    for (int c = 0; c < state_.size(); ++c) snapshot[c] = state_.get(c);
+    eng_.wait(lat.state_scan * state_.size());
+
+    const double wait_started = eng_.now();
+    for (int c = 0; c < state_.size(); ++c) {
+      if (c == tid || snapshot[c] <= SimStateTable::kCompleted) continue;
+      while (state_.get(c) == snapshot[c]) {
+        eng_.check_killed();
+        eng_.wait(lat.quiesce_poll);
+      }
+    }
+    st.wait_cycles += static_cast<std::uint64_t>(eng_.now() - wait_started);
+
+    // Publish-then-validate (same rationale as the real backend).
+    for (auto w : log.writes) versions_.bump(w);
+    eng_.wait(lat.occ_commit_per_entry * static_cast<double>(log.reads.size()));
+    for (const auto& r : log.reads) {
+      bool own = false;
+      for (auto w : log.writes) {
+        if (w == r.line) {
+          own = true;
+          break;
+        }
+      }
+      if (!own && versions_.version(r.line) != r.version) {
+        eng_.self_abort(si::util::AbortCause::kExplicit);
+      }
+    }
+    eng_.wait(lat.tx_commit);
+    eng_.tx_commit();
+    state_.set(tid, SimStateTable::kInactive);
+  }
+
+  SimEngine& eng_;
+  int retries_;
+  SimStateTable state_;
+  SimGlobalLock gl_;
+  SimVersionTable versions_;
+  std::vector<Log> logs_;
+  SimBackoff backoff_;
+};
+
+// ---------------------------------------------------------------------------
+// Silo (OCC)
+// ---------------------------------------------------------------------------
+
+class SimSilo;
+
+class SimSiloTx {
+ public:
+  template <typename T>
+  T read(const T* addr) {
+    T out;
+    read_bytes(&out, addr, sizeof(T));
+    return out;
+  }
+  template <typename T>
+  void write(T* addr, const T& v) {
+    write_bytes(addr, &v, sizeof(T));
+  }
+  void read_bytes(void* dst, const void* src, std::size_t n);
+  void write_bytes(void* dst, const void* src, std::size_t n);
+
+ private:
+  friend class SimSilo;
+  explicit SimSiloTx(SimSilo& owner) : owner_(owner) {}
+  SimSilo& owner_;
+};
+
+class SimSilo {
+ public:
+  explicit SimSilo(SimEngine& eng)
+      : eng_(eng), ctxs_(static_cast<std::size_t>(eng.threads())), backoff_(eng.threads()) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    (void)is_ro;
+    const int tid = eng_.current_tid();
+    auto& st = eng_.stats(tid);
+    Ctx& ctx = ctxs_[static_cast<std::size_t>(tid)];
+    for (int attempt = 0;; ++attempt) {
+      ctx.reset();
+      bool ok = true;
+      try {
+        SimSiloTx tx(*this);
+        body(tx);
+      } catch (const TxAbort&) {
+        ok = false;  // mid-flight validation failure
+      }
+      if (ok && try_commit(ctx)) {
+        ++st.commits;
+        if (ctx.writes.empty()) ++st.ro_commits;
+        return;
+      }
+      st.record_abort(si::util::AbortCause::kConflictRead);
+      eng_.wait(backoff_.delay(tid, attempt, eng_.config().lat.abort_penalty));
+    }
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+
+ private:
+  friend class SimSiloTx;
+
+  struct ReadRecord {
+    si::util::LineId line;
+    std::uint64_t version;
+  };
+  struct WriteRecord {
+    void* addr;
+    std::uint32_t len;
+    std::uint32_t offset;
+  };
+  struct Ctx {
+    std::vector<ReadRecord> reads;
+    std::vector<WriteRecord> writes;
+    std::vector<unsigned char> buffer;
+    std::vector<si::util::LineId> write_lines;
+    void reset() {
+      reads.clear();
+      writes.clear();
+      buffer.clear();
+      write_lines.clear();
+    }
+  };
+
+  bool try_commit(Ctx& ctx);
+
+  SimEngine& eng_;
+  SimVersionTable versions_;
+  std::vector<Ctx> ctxs_;
+  SimBackoff backoff_;
+};
+
+}  // namespace si::sim

@@ -1,0 +1,242 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+
+namespace si::sim {
+
+using si::util::AbortCause;
+using si::util::LineId;
+using si::util::line_of;
+
+SimEngine::SimEngine(const SimMachineConfig& cfg, int n_threads)
+    : cfg_(cfg),
+      n_threads_(n_threads),
+      descs_(static_cast<std::size_t>(n_threads)),
+      tmcam_used_(static_cast<std::size_t>(cfg.topo.cores), 0),
+      lvdir_(static_cast<std::size_t>((cfg.topo.cores + 1) / 2)),
+      stats_(static_cast<std::size_t>(n_threads)) {
+  if (n_threads < 1 || n_threads > si::p8::kMaxThreads) {
+    throw std::invalid_argument("SimEngine: thread count out of range");
+  }
+  lines_.reserve(1 << 16);
+  for (auto& d : descs_) {
+    d.lines.reserve(2 * cfg.tmcam_lines);
+    d.undo.reserve(256);
+    d.undo_bytes.reserve(4096);
+  }
+}
+
+void SimEngine::schedule(int tid, double time) {
+  events_.push(Event{time, next_seq_++, tid});
+}
+
+SimEngine::Event SimEngine::pop_event() {
+  assert(!events_.empty() && "simulation deadlocked: no runnable fiber");
+  const Event ev = events_.top();
+  events_.pop();
+  return ev;
+}
+
+void SimEngine::wait(double ns) {
+  const int tid = current_tid();
+  schedule(tid, clock_ + ns);
+  Fiber::yield();
+}
+
+int SimEngine::current_tid() const {
+  if (running_tid_ < 0) {
+    throw std::logic_error("SimEngine: called off the simulation");
+  }
+  return running_tid_;
+}
+
+// --- HTM model ---------------------------------------------------------------
+
+void SimEngine::tx_begin(SimTxMode mode) {
+  SimTxDesc& d = desc();
+  assert(d.mode == SimTxMode::kNone && "nested simulated transactions");
+  d.mode = mode;
+  d.killed = AbortCause::kNone;
+  d.uses_lvdir = false;
+  d.lines.clear();
+  d.undo.clear();
+  d.undo_bytes.clear();
+  // POWER9 model: a regular HTM transaction tries to win one of the LVDIR's
+  // two thread slots at begin; winners track reads there instead of in the
+  // TMCAM. ROTs never need it (their reads are untracked anyway).
+  if (mode == SimTxMode::kHtm && cfg_.lvdir_lines > 0) {
+    LvdirState& lv = lvdir_[static_cast<std::size_t>(lvdir_pair_of(current_tid()))];
+    if (lv.users < cfg_.lvdir_max_threads) {
+      ++lv.users;
+      d.uses_lvdir = true;
+    }
+  }
+}
+
+void SimEngine::tx_commit() {
+  SimTxDesc& d = desc();
+  assert(d.mode != SimTxMode::kNone);
+  if (d.killed != AbortCause::kNone) abort_now(d, d.killed);
+  release_lines(d, current_tid());
+  d.undo.clear();
+  d.undo_bytes.clear();
+  d.mode = SimTxMode::kNone;
+}
+
+void SimEngine::check_killed() {
+  SimTxDesc& d = desc();
+  if (d.mode == SimTxMode::kNone) return;
+  if (d.killed != AbortCause::kNone) abort_now(d, d.killed);
+}
+
+void SimEngine::self_abort(AbortCause cause) { abort_now(desc(), cause); }
+
+void SimEngine::flag_kill(int victim, AbortCause cause) {
+  SimTxDesc& v = descs_[static_cast<std::size_t>(victim)];
+  if (v.killed == AbortCause::kNone) v.killed = cause;
+}
+
+void SimEngine::rollback(SimTxDesc& d, int tid) {
+  for (std::size_t i = d.undo.size(); i-- > 0;) {
+    const UndoRecord& u = d.undo[i];
+    std::memcpy(u.addr, d.undo_bytes.data() + u.offset, u.len);
+  }
+  release_lines(d, tid);
+  d.undo.clear();
+  d.undo_bytes.clear();
+}
+
+void SimEngine::release_lines(SimTxDesc& d, int tid) {
+  std::int64_t tmcam_held = 0;
+  std::int64_t lvdir_held = 0;
+  for (const TrackedLine& t : d.lines) {
+    auto it = lines_.find(t.line);
+    if (it != lines_.end()) {
+      if (it->second.writer == tid) it->second.writer = -1;
+      it->second.readers.clear(tid);
+      if (it->second.unowned()) lines_.erase(it);
+    }
+    if (t.in_lvdir) {
+      ++lvdir_held;
+    } else {
+      ++tmcam_held;
+    }
+  }
+  if (tmcam_held > 0) {
+    tmcam_used_[static_cast<std::size_t>(cfg_.topo.core_of(tid))] -= tmcam_held;
+  }
+  if (d.uses_lvdir) {
+    LvdirState& lv = lvdir_[static_cast<std::size_t>(lvdir_pair_of(tid))];
+    lv.used -= lvdir_held;
+    --lv.users;
+    d.uses_lvdir = false;
+  }
+  d.lines.clear();
+}
+
+void SimEngine::abort_now(SimTxDesc& d, AbortCause cause) {
+  rollback(d, current_tid());
+  d.mode = SimTxMode::kNone;
+  d.killed = AbortCause::kNone;
+  throw TxAbort{cause};
+}
+
+void SimEngine::access(void* dst, const void* src, std::size_t len,
+                       bool is_write, bool tracked, AbortCause victim_cause) {
+  auto* base =
+      static_cast<unsigned char*>(is_write ? dst : const_cast<void*>(src));
+  auto* out = static_cast<unsigned char*>(dst);
+  auto* in = static_cast<const unsigned char*>(src);
+  std::size_t done = 0;
+  while (done < len || (len == 0 && done == 0)) {
+    const std::uintptr_t here = reinterpret_cast<std::uintptr_t>(base + done);
+    const std::size_t to_line_end =
+        si::util::kLineSize - (here & (si::util::kLineSize - 1));
+    const std::size_t chunk = len == 0 ? 0 : std::min(len - done, to_line_end);
+    access_line(line_of(base + done), out + done, in + done, chunk, is_write,
+                tracked, victim_cause);
+    if (len == 0) break;
+    done += chunk;
+  }
+}
+
+void SimEngine::access_line(LineId line, unsigned char* dst,
+                            const unsigned char* src, std::size_t len,
+                            bool is_write, bool tracked,
+                            AbortCause victim_cause) {
+  const int tid = current_tid();
+  wait(cfg_.lat.mem_access);  // coherence/latency charge; others may interleave
+
+  for (;;) {
+    SimTxDesc& d = descs_[static_cast<std::size_t>(tid)];
+    if (d.mode != SimTxMode::kNone && d.killed != AbortCause::kNone) {
+      abort_now(d, d.killed);
+    }
+    bool clear = true;
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+      SimLine& e = it->second;
+      if (is_write) {
+        if (e.writer != -1 && e.writer != tid) {
+          if (tracked) abort_now(d, AbortCause::kConflictWrite);  // last writer dies
+          flag_kill(e.writer, victim_cause);
+          clear = false;
+        }
+        if (e.readers.any_other(tid)) {
+          e.readers.for_each_other(tid, [&](int t) { flag_kill(t, victim_cause); });
+          clear = false;
+        }
+      } else if (e.writer != -1 && e.writer != tid) {
+        flag_kill(e.writer, AbortCause::kConflictRead);
+        clear = false;
+      }
+    }
+    if (clear) break;
+    // Victims roll back at their own next poll instant; re-check then.
+    wait(cfg_.lat.quiesce_poll);
+  }
+
+  SimTxDesc& d = descs_[static_cast<std::size_t>(tid)];
+  if (tracked) {
+    if (!d.has_line(line)) {
+      // Reads of an LVDIR-holding transaction are tracked there; everything
+      // else (all writes, and reads without a slot) occupies the TMCAM.
+      const bool to_lvdir = !is_write && d.uses_lvdir;
+      if (to_lvdir) {
+        LvdirState& lv = lvdir_[static_cast<std::size_t>(lvdir_pair_of(tid))];
+        if (lv.used + 1 > static_cast<std::int64_t>(cfg_.lvdir_lines)) {
+          abort_now(d, AbortCause::kCapacity);
+        }
+        ++lv.used;
+      } else {
+        auto& used = tmcam_used_[static_cast<std::size_t>(cfg_.topo.core_of(tid))];
+        if (used + 1 > static_cast<std::int64_t>(cfg_.tmcam_lines)) {
+          abort_now(d, AbortCause::kCapacity);
+        }
+        ++used;
+      }
+      d.lines.push_back({line, to_lvdir});
+    }
+    SimLine& e = lines_[line];
+    if (is_write) {
+      e.writer = tid;
+    } else {
+      e.readers.set(tid);
+    }
+  }
+  if (len > 0) {
+    if (is_write) {
+      if (tracked) {
+        const auto offset = static_cast<std::uint32_t>(d.undo_bytes.size());
+        d.undo_bytes.resize(offset + len);
+        std::memcpy(d.undo_bytes.data() + offset, dst, len);
+        d.undo.push_back(UndoRecord{dst, static_cast<std::uint32_t>(len), offset});
+      }
+      std::memcpy(dst, src, len);
+    } else {
+      std::memcpy(dst, src, len);
+    }
+  }
+}
+
+}  // namespace si::sim

@@ -1,0 +1,226 @@
+// Discrete-event simulation engine: virtual clock, fiber scheduler, and the
+// virtual-time model of P8-HTM (line ownership, TMCAM budgets, kill rules).
+//
+// One SimEngine simulates one run: N hardware threads (fibers) on the
+// configured topology, executing real workload code whose memory accesses are
+// routed through the engine. Conflict semantics are the same as the
+// real-thread emulation in src/p8htm (DESIGN.md section 5); the difference is
+// that time is virtual and scheduling is deterministic, which is what makes
+// 80-thread scalability curves meaningful on a single-core host.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "p8htm/abort.hpp"
+#include "p8htm/line_table.hpp"
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+#include "util/cacheline.hpp"
+#include "util/stats.hpp"
+
+namespace si::sim {
+
+using si::p8::TxAbort;
+
+/// Transaction mode of a simulated thread (mirrors si::p8::TxMode).
+enum class SimTxMode : unsigned char { kNone, kHtm, kRot };
+
+class SimEngine {
+ public:
+  SimEngine(const SimMachineConfig& cfg, int n_threads);
+
+  const SimMachineConfig& config() const noexcept { return cfg_; }
+  int threads() const noexcept { return n_threads_; }
+
+  // --- DES primitives (call from inside a fiber) ----------------------------
+
+  double now() const noexcept { return clock_; }
+
+  /// Advances this thread's virtual time by `ns` (parks the fiber).
+  void wait(double ns);
+
+  /// Spins in virtual time until `pred()` holds, one `poll_ns` wait per
+  /// iteration. The predicate is evaluated at each virtual poll instant.
+  template <typename Pred>
+  void wait_until(Pred&& pred, double poll_ns) {
+    while (!pred()) wait(poll_ns);
+  }
+
+  /// Thread id of the fiber calling into the engine.
+  int current_tid() const;
+
+  /// True once the virtual deadline passed; worker loops must then return.
+  bool should_stop() const noexcept { return stop_; }
+
+  // --- virtual-time P8-HTM model --------------------------------------------
+
+  void tx_begin(SimTxMode mode);
+
+  /// HTMEnd: releases tracked lines, drops the undo log. Throws TxAbort if
+  /// the transaction was killed before the commit instant.
+  void tx_commit();
+
+  /// Poll point: aborts (rollback + TxAbort) if this transaction was killed.
+  void check_killed();
+
+  [[noreturn]] void self_abort(si::util::AbortCause cause);
+
+  /// Transactional / plain access, same conflict matrix as the emulation.
+  /// Charges one mem_access latency per covered line. `tracked` charges the
+  /// TMCAM and registers ownership; plain accesses only kill conflicting
+  /// owners.
+  void access(void* dst, const void* src, std::size_t len, bool is_write,
+              bool tracked, si::util::AbortCause victim_cause);
+
+  bool in_tx() const { return desc().mode != SimTxMode::kNone; }
+
+  /// Flags another thread's running transaction as killed (e.g. an SGL
+  /// acquisition invalidating subscribers). No-op if `tid` is not in a
+  /// transaction; the victim aborts at its next poll instant.
+  void kill_thread_tx(int tid, si::util::AbortCause cause) {
+    SimTxDesc& d = descs_[static_cast<std::size_t>(tid)];
+    if (d.mode != SimTxMode::kNone) flag_kill(tid, cause);
+  }
+
+  std::size_t tmcam_used(int core) const {
+    return static_cast<std::size_t>(tmcam_used_[static_cast<std::size_t>(core)]);
+  }
+  std::size_t tracked_lines_of(int tid) const {
+    return descs_[static_cast<std::size_t>(tid)].lines.size();
+  }
+
+  /// LVDIR occupancy of a core pair (POWER9 model; diagnostics/tests).
+  std::size_t lvdir_used(int pair) const {
+    return static_cast<std::size_t>(lvdir_[static_cast<std::size_t>(pair)].used);
+  }
+  int lvdir_users(int pair) const {
+    return lvdir_[static_cast<std::size_t>(pair)].users;
+  }
+  bool thread_uses_lvdir(int tid) const {
+    return descs_[static_cast<std::size_t>(tid)].uses_lvdir;
+  }
+
+  // --- per-run bookkeeping --------------------------------------------------
+
+  si::util::ThreadStats& stats(int tid) {
+    return stats_[static_cast<std::size_t>(tid)];
+  }
+  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+
+  /// Runs `step(tid)` in a loop on every simulated thread until the virtual
+  /// deadline, then drains in-flight work. Returns the aggregated stats with
+  /// elapsed = final virtual time.
+  template <typename StepFn>
+  si::util::RunStats run(double duration_ns, StepFn&& step) {
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    fibers.reserve(static_cast<std::size_t>(n_threads_));
+    for (int t = 0; t < n_threads_; ++t) {
+      fibers.push_back(std::make_unique<Fiber>([this, t, &step] {
+        running_tid_ = t;
+        while (!stop_) step(t);
+      }));
+    }
+    for (int t = 0; t < n_threads_; ++t) schedule(t, 0.0);
+
+    int alive = n_threads_;
+    while (alive > 0) {
+      const Event ev = pop_event();
+      clock_ = ev.time;
+      if (clock_ >= duration_ns) stop_ = true;
+      running_tid_ = ev.tid;
+      fibers[static_cast<std::size_t>(ev.tid)]->resume();
+      running_tid_ = -1;
+      if (fibers[static_cast<std::size_t>(ev.tid)]->finished()) --alive;
+    }
+    return si::util::aggregate(stats_, clock_ / 1e9);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    int tid;
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  struct UndoRecord {
+    void* addr;
+    std::uint32_t len;
+    std::uint32_t offset;
+  };
+
+  struct TrackedLine {
+    si::util::LineId line;
+    bool in_lvdir;  ///< charged to the LVDIR rather than the TMCAM
+  };
+
+  struct SimTxDesc {
+    SimTxMode mode = SimTxMode::kNone;
+    si::util::AbortCause killed = si::util::AbortCause::kNone;
+    bool uses_lvdir = false;  ///< holds an LVDIR slot for this transaction
+    std::vector<TrackedLine> lines;
+    std::vector<UndoRecord> undo;
+    std::vector<unsigned char> undo_bytes;
+
+    bool has_line(si::util::LineId line) const noexcept {
+      for (const auto& l : lines)
+        if (l.line == line) return true;
+      return false;
+    }
+  };
+
+  struct SimLine {
+    int writer = -1;
+    si::p8::ReaderSet readers;
+    bool unowned() const noexcept { return writer == -1 && readers.empty(); }
+  };
+
+  SimTxDesc& desc() { return descs_[static_cast<std::size_t>(current_tid())]; }
+  const SimTxDesc& desc() const {
+    return descs_[static_cast<std::size_t>(current_tid())];
+  }
+
+  void schedule(int tid, double time);
+  Event pop_event();
+
+  void flag_kill(int victim, si::util::AbortCause cause);
+  void rollback(SimTxDesc& d, int tid);
+  void release_lines(SimTxDesc& d, int tid);
+  [[noreturn]] void abort_now(SimTxDesc& d, si::util::AbortCause cause);
+
+  /// One line of an access: conflict resolution + registration + data move.
+  void access_line(si::util::LineId line, unsigned char* dst,
+                   const unsigned char* src, std::size_t len, bool is_write,
+                   bool tracked, si::util::AbortCause victim_cause);
+
+  SimMachineConfig cfg_;
+  int n_threads_;
+  double clock_ = 0.0;
+  bool stop_ = false;
+  std::uint64_t next_seq_ = 0;
+  int running_tid_ = -1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  struct LvdirState {
+    int users = 0;
+    std::int64_t used = 0;
+  };
+
+  int lvdir_pair_of(int tid) const {
+    return cfg_.topo.core_of(tid) / 2;
+  }
+
+  std::vector<SimTxDesc> descs_;
+  std::unordered_map<si::util::LineId, SimLine> lines_;
+  std::vector<std::int64_t> tmcam_used_;
+  std::vector<LvdirState> lvdir_;
+  std::vector<si::util::ThreadStats> stats_;
+};
+
+}  // namespace si::sim

@@ -1,0 +1,55 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace si::sim {
+
+namespace {
+thread_local Fiber* t_current_fiber = nullptr;
+}
+
+Fiber::Fiber(Entry entry, std::size_t stack_bytes)
+    : entry_(std::move(entry)), stack_(std::make_unique<unsigned char[]>(stack_bytes)) {
+  if (getcontext(&context_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = &return_context_;  // entry return falls back to resume()
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                        static_cast<std::uintptr_t>(lo));
+  self->entry_();
+  self->finished_ = true;
+  // uc_link returns control to return_context_ inside resume().
+}
+
+void Fiber::resume() {
+  if (finished_) return;
+  Fiber* previous = t_current_fiber;
+  t_current_fiber = this;
+  started_ = true;
+  swapcontext(&return_context_, &context_);
+  t_current_fiber = previous;
+}
+
+void Fiber::yield() {
+  Fiber* self = t_current_fiber;
+  if (self == nullptr) {
+    throw std::logic_error("Fiber::yield called off-fiber");
+  }
+  swapcontext(&self->context_, &self->return_context_);
+}
+
+Fiber* Fiber::current() noexcept { return t_current_fiber; }
+
+}  // namespace si::sim

@@ -1,0 +1,56 @@
+// Stackful fibers (ucontext-based) for the discrete-event simulator.
+//
+// Each simulated hardware thread runs ordinary C++ code — the very same
+// templated workload bodies the real-thread backends execute — on its own
+// fiber. When that code performs a simulated memory access, the access
+// primitive parks the fiber and returns control to the scheduler, which
+// resumes fibers in virtual-time order. This gives instruction-level
+// interleaving fidelity without OS threads, keeping a deterministic,
+// single-core-friendly simulation.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace si::sim {
+
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  /// Creates a fiber that will run `entry` when first resumed.
+  /// `stack_bytes` must accommodate the deepest workload call chain.
+  explicit Fiber(Entry entry, std::size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Transfers control from the scheduler into the fiber. Returns when the
+  /// fiber yields or its entry function returns.
+  void resume();
+
+  /// Transfers control from inside the fiber back to the scheduler.
+  /// Must be called on the currently-running fiber's stack.
+  static void yield();
+
+  /// The fiber currently executing, or nullptr when on the scheduler stack.
+  static Fiber* current() noexcept;
+
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  Entry entry_;
+  std::unique_ptr<unsigned char[]> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace si::sim

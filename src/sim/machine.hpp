@@ -1,0 +1,56 @@
+// Machine model of the simulated POWER8 server: topology, TMCAM geometry and
+// the latency parameters of the discrete-event simulation.
+//
+// Latencies are calibrated to the order of magnitude of published POWER8
+// numbers (L2-resident line access a handful of ns, tbegin/tend tens of ns,
+// SGL handoff ~100 ns) — EXPERIMENTS.md only relies on relative shapes, not
+// on these absolute values.
+#pragma once
+
+#include <cstddef>
+
+#include "p8htm/topology.hpp"
+
+namespace si::sim {
+
+struct SimLatencies {
+  double mem_access = 6;        ///< one cache-line access, ns
+  double tx_begin = 40;         ///< tbegin.
+  double rot_begin = 50;        ///< tbegin. ROT variant
+  double tx_commit = 50;        ///< tend.
+  double suspend_resume = 60;   ///< one suspend+publish+resume sequence
+  double fence = 15;            ///< sync / lwsync
+  double state_publish = 10;    ///< one state-array slot write
+  double state_scan = 4;        ///< reading one state-array slot
+  double quiesce_poll = 80;     ///< one spin iteration of a safety wait
+  double abort_penalty = 200;   ///< abort handling + retry setup
+  double sgl_acquire = 120;     ///< lock handoff
+  double instr_read_extra = 25; ///< P8TM per-read software tracking
+  double occ_read_extra = 12;   ///< Silo per-read version check + log
+  double occ_commit_per_entry = 15;  ///< Silo per-lock/validate/install step
+  double think = 30;            ///< non-memory work between transactions
+};
+
+struct SimMachineConfig {
+  si::p8::Topology topo{};  ///< default: 10 cores, SMT-8
+  std::size_t tmcam_lines = si::util::kTmcamLinesPerCore;
+
+  /// POWER9's L2 LVDIR (paper section 2.2): a 512 KiB read-tracking
+  /// structure shared among two cores, usable "by up to two threads at any
+  /// given time". 0 models POWER8 (no LVDIR); 4096 lines models POWER9.
+  /// Regular-HTM transactions that win an LVDIR slot at begin track their
+  /// *reads* there instead of in the TMCAM (writes always use the TMCAM).
+  std::size_t lvdir_lines = 0;
+  int lvdir_max_threads = 2;
+
+  SimLatencies lat{};
+
+  /// A POWER9-flavoured machine: same topology, LVDIR enabled.
+  static SimMachineConfig power9() {
+    SimMachineConfig cfg;
+    cfg.lvdir_lines = 512 * 1024 / si::util::kLineSize;  // 4096 lines
+    return cfg;
+  }
+};
+
+}  // namespace si::sim

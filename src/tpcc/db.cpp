@@ -1,0 +1,238 @@
+#include "tpcc/db.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace si::tpcc {
+
+Db::Db(const DbConfig& cfg) : cfg_(cfg) {
+  if (cfg_.warehouses < 1 || cfg_.items < 1 || cfg_.customers_per_district < 1) {
+    throw std::invalid_argument("DbConfig: cardinalities must be positive");
+  }
+  if (cfg_.initial_orders_per_district > (1 << cfg_.order_ring_bits)) {
+    throw std::invalid_argument("DbConfig: initial orders exceed the order ring");
+  }
+  const std::size_t w = static_cast<std::size_t>(cfg_.warehouses);
+  const std::size_t dists = w * kDistrictsPerWarehouse;
+  const std::size_t ring = static_cast<std::size_t>(order_ring_capacity());
+
+  warehouses_.resize(w);
+  districts_.resize(dists);
+  customers_.resize(dists * cfg_.customers_per_district);
+  items_.resize(static_cast<std::size_t>(cfg_.items));
+  stocks_.resize(w * cfg_.items);
+  orders_.resize(dists * ring);
+  order_lines_.resize(dists * ring * kMaxOrderLines);
+  history_.resize(w * (std::size_t{1} << cfg_.history_ring_bits));
+  history_cursors_.resize(w);
+  no_queues_.resize(dists);
+  no_rings_.resize(dists * ring);
+  last_order_.resize(dists * cfg_.customers_per_district, 0);
+  name_index_.resize(dists * 1000);
+
+  load();
+}
+
+void Db::load() {
+  si::util::Xoshiro256 rng(cfg_.seed);
+
+  // ITEM (clause 4.3.3.1): 10% of items are flagged "ORIGINAL" in i_data.
+  for (int i = 1; i <= cfg_.items; ++i) {
+    Item& it = item(i);
+    it.i_id = i;
+    it.i_im_id = static_cast<std::int32_t>(rng.uniform(1, 10000));
+    astring(rng, 14, 23, it.i_name);
+    it.i_price = static_cast<Money>(rng.uniform(100, 10000));
+    astring(rng, 26, 31, it.i_data);
+    if (rng.percent(10)) std::memcpy(it.i_data, "ORIGINAL", 8);
+  }
+
+  for (int w = 1; w <= cfg_.warehouses; ++w) {
+    Warehouse& wh = warehouse(w);
+    wh.w_id = w;
+    astring(rng, 6, 9, wh.w_name);
+    astring(rng, 10, 19, wh.w_street_1);
+    astring(rng, 10, 19, wh.w_street_2);
+    astring(rng, 10, 19, wh.w_city);
+    astring(rng, 2, 2, wh.w_state);
+    nstring(rng, 9, wh.w_zip);
+    wh.w_tax = static_cast<std::int32_t>(rng.uniform(0, 2000));
+    wh.w_ytd = 300'000'00;  // $300,000.00
+
+    for (int i = 1; i <= cfg_.items; ++i) {
+      Stock& s = stock(w, i);
+      s.s_i_id = i;
+      s.s_w_id = w;
+      s.s_quantity = static_cast<std::int32_t>(rng.uniform(10, 100));
+      for (auto& dist : s.s_dist) astring(rng, 24, 24, dist);
+      s.s_ytd = 0;
+      s.s_order_cnt = 0;
+      s.s_remote_cnt = 0;
+      astring(rng, 26, 31, s.s_data);
+      if (rng.percent(10)) std::memcpy(s.s_data, "ORIGINAL", 8);
+    }
+
+    for (int d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      District& ds = district(w, d);
+      ds.d_id = d;
+      ds.d_w_id = w;
+      astring(rng, 6, 9, ds.d_name);
+      astring(rng, 10, 19, ds.d_street_1);
+      astring(rng, 10, 19, ds.d_street_2);
+      astring(rng, 10, 19, ds.d_city);
+      astring(rng, 2, 2, ds.d_state);
+      nstring(rng, 9, ds.d_zip);
+      ds.d_tax = static_cast<std::int32_t>(rng.uniform(0, 2000));
+      ds.d_ytd = 30'000'00;
+      ds.d_next_o_id = cfg_.initial_orders_per_district + 1;
+
+      for (int c = 1; c <= cfg_.customers_per_district; ++c) {
+        Customer& cu = customer(w, d, c);
+        cu.c_id = c;
+        cu.c_d_id = d;
+        cu.c_w_id = w;
+        const int name_num = lastname_number_for_load(c, rng, nurand_c_);
+        lastname(name_num, cu.c_last);
+        astring(rng, 8, 15, cu.c_first);
+        cu.c_middle[0] = 'O';
+        cu.c_middle[1] = 'E';
+        astring(rng, 10, 19, cu.c_street_1);
+        astring(rng, 10, 19, cu.c_city);
+        astring(rng, 2, 2, cu.c_state);
+        nstring(rng, 9, cu.c_zip);
+        nstring(rng, 16, cu.c_phone);
+        cu.c_since = 0;
+        cu.c_credit[0] = rng.percent(10) ? 'B' : 'G';
+        cu.c_credit[1] = 'C';
+        cu.c_credit_lim = 50'000'00;
+        cu.c_discount = static_cast<std::int32_t>(rng.uniform(0, 5000));
+        cu.c_balance = -10'00;
+        cu.c_ytd_payment = 10'00;
+        cu.c_payment_cnt = 1;
+        cu.c_delivery_cnt = 0;
+        astring(rng, 30, 60, cu.c_data);
+        name_index_[static_cast<std::size_t>(dix(w, d)) * 1000 + name_num].push_back(c);
+      }
+      // Order the name buckets by c_first (clause 2.5.2.2 selects the
+      // median customer of the name group in first-name order).
+      for (int num = 0; num < 1000; ++num) {
+        auto& bucket = name_index_[static_cast<std::size_t>(dix(w, d)) * 1000 + num];
+        std::sort(bucket.begin(), bucket.end(), [&](std::int32_t a, std::int32_t b) {
+          return std::strncmp(customer(w, d, a).c_first, customer(w, d, b).c_first,
+                              sizeof(Customer::c_first)) < 0;
+        });
+      }
+
+      // Initial orders: a random permutation of customers, the most recent
+      // ~30% undelivered and queued (spec: 900 of 3000).
+      std::vector<std::int32_t> perm(
+          static_cast<std::size_t>(cfg_.customers_per_district));
+      std::iota(perm.begin(), perm.end(), 1);
+      for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+      }
+      const int undelivered_from =
+          cfg_.initial_orders_per_district - cfg_.initial_orders_per_district * 3 / 10 + 1;
+      NewOrderQueue& q = no_queue(w, d);
+      for (std::int64_t o_id = 1; o_id <= cfg_.initial_orders_per_district; ++o_id) {
+        Order& o = order_slot(w, d, o_id);
+        const int c = perm[static_cast<std::size_t>(
+            (o_id - 1) % cfg_.customers_per_district)];
+        o.o_id = o_id;
+        o.o_d_id = d;
+        o.o_w_id = w;
+        o.o_c_id = c;
+        o.o_entry_d = 1;
+        o.o_ol_cnt = static_cast<std::int32_t>(
+            rng.uniform(kMinOrderLines, kMaxOrderLines));
+        o.o_all_local = 1;
+        const bool delivered = o_id < undelivered_from;
+        o.o_carrier_id =
+            delivered ? static_cast<std::int32_t>(rng.uniform(1, 10)) : 0;
+        for (int l = 1; l <= o.o_ol_cnt; ++l) {
+          OrderLine& ol = order_line(w, d, o_id, l);
+          ol.ol_o_id = o_id;
+          ol.ol_number = l;
+          ol.ol_i_id = static_cast<std::int32_t>(rng.uniform(1, cfg_.items));
+          ol.ol_supply_w_id = w;
+          ol.ol_quantity = 5;
+          ol.ol_delivery_d = delivered ? 1 : 0;
+          ol.ol_amount = delivered ? 0 : static_cast<Money>(rng.uniform(1, 999999));
+          astring(rng, 24, 24, ol.ol_dist_info);
+        }
+        if (!delivered) {
+          no_ring_slot(w, d, q.tail) = o_id;
+          ++q.tail;
+        }
+        if (last_order_[static_cast<std::size_t>(dix(w, d)) *
+                            cfg_.customers_per_district +
+                        (c - 1)] < o_id) {
+          last_order_[static_cast<std::size_t>(dix(w, d)) *
+                          cfg_.customers_per_district +
+                      (c - 1)] = o_id;
+        }
+      }
+    }
+  }
+}
+
+bool Db::check_ytd_consistency() const {
+  for (std::size_t w = 0; w < warehouses_.size(); ++w) {
+    Money district_sum = 0;
+    for (int d = 0; d < kDistrictsPerWarehouse; ++d) {
+      district_sum += districts_[w * kDistrictsPerWarehouse + d].d_ytd;
+    }
+    if (district_sum != warehouses_[w].w_ytd) return false;
+  }
+  return true;
+}
+
+bool Db::check_order_id_consistency() {
+  for (int w = 1; w <= cfg_.warehouses; ++w) {
+    for (int d = 1; d <= kDistrictsPerWarehouse; ++d) {
+      const std::int64_t next = district(w, d).d_next_o_id;
+      // The most recent ring slots must carry exactly the issued o_ids.
+      const std::int64_t window =
+          std::min<std::int64_t>(next - 1, order_ring_capacity());
+      for (std::int64_t o_id = next - window; o_id < next; ++o_id) {
+        if (order_slot(w, d, o_id).o_id != o_id) return false;
+      }
+      // The new-order queue must reference valid, undelivered orders in
+      // ascending o_id order. When the undelivered backlog outgrows the ring
+      // (the standard mix issues ~11 new orders per delivery pop, so backlog
+      // growth is inherent to TPC-C; the authors' testbed simply let tables
+      // grow), entries older than one ring revolution are aliased by newer
+      // pushes and can no longer be verified — validate the newest window.
+      const NewOrderQueue& q = no_queue(w, d);
+      std::int64_t prev = 0;
+      const std::int64_t first_checkable =
+          std::max(q.head, q.tail - order_ring_capacity());
+      for (std::int64_t pos = first_checkable; pos < q.tail; ++pos) {
+        const std::int64_t o_id =
+            no_rings_[static_cast<std::size_t>(dix(w, d)) * order_ring_capacity() +
+                      (pos & (order_ring_capacity() - 1))];
+        if (o_id <= prev || o_id >= next) return false;
+        // The order slot itself may have been recycled by ring wrap-around;
+        // only the surviving window can assert the undelivered invariant.
+        if (order_slot(w, d, o_id).o_id == o_id &&
+            order_slot(w, d, o_id).o_carrier_id != 0) {
+          return false;
+        }
+        prev = o_id;
+      }
+    }
+  }
+  return true;
+}
+
+std::int64_t Db::total_new_order_queue_length() const {
+  std::int64_t total = 0;
+  for (const auto& q : no_queues_) total += q.tail - q.head;
+  return total;
+}
+
+}  // namespace si::tpcc

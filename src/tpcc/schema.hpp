@@ -1,0 +1,134 @@
+// TPC-C row types (TPC BENCHMARK C, revision 5.11, clause 1.3), scaled for an
+// in-memory single-host reproduction.
+//
+// Substitutions relative to the spec, all documented in DESIGN.md:
+//  * long VARCHAR payloads are trimmed (C_DATA 500 -> 64 bytes, I_DATA/S_DATA
+//    50 -> 32) — they are opaque ballast whose only role in the concurrency
+//    study is cache-line footprint, which stays proportional;
+//  * ITEM cardinality defaults to 10,000 (spec: 100,000) to keep the STOCK
+//    table laptop-sized; the item popularity skew (NURand) is preserved;
+//  * ORDER/ORDER-LINE/HISTORY live in per-district ring buffers sized by
+//    DbConfig — an in-memory stand-in for table growth that preserves the
+//    access patterns (append, pop-oldest, scan-recent).
+//
+// Hot scalar fields that concurrent transactions contend on (d_next_o_id,
+// s_quantity, c_balance, ytd counters) are laid out so that unrelated rows
+// never share a modelled 128-byte cache line (rows are line-aligned), while
+// fields within a row share lines exactly as a packed row store would.
+#pragma once
+
+#include <cstdint>
+
+#include "util/cacheline.hpp"
+
+namespace si::tpcc {
+
+inline constexpr int kDistrictsPerWarehouse = 10;
+inline constexpr int kMaxOrderLines = 15;
+inline constexpr int kMinOrderLines = 5;
+
+using Money = std::int64_t;  ///< fixed-point cents: exact under concurrency
+
+struct alignas(si::util::kLineSize) Warehouse {
+  std::int32_t w_id = 0;
+  char w_name[10] = {};
+  char w_street_1[20] = {};
+  char w_street_2[20] = {};
+  char w_city[20] = {};
+  char w_state[2] = {};
+  char w_zip[9] = {};
+  std::int32_t w_tax = 0;  ///< basis points (0..2000 = 0..20%)
+  Money w_ytd = 0;
+};
+
+struct alignas(si::util::kLineSize) District {
+  std::int32_t d_id = 0;
+  std::int32_t d_w_id = 0;
+  char d_name[10] = {};
+  char d_street_1[20] = {};
+  char d_street_2[20] = {};
+  char d_city[20] = {};
+  char d_state[2] = {};
+  char d_zip[9] = {};
+  std::int32_t d_tax = 0;
+  Money d_ytd = 0;
+  std::int64_t d_next_o_id = 0;  ///< the classic TPC-C hotspot
+};
+
+struct alignas(si::util::kLineSize) Customer {
+  std::int32_t c_id = 0;
+  std::int32_t c_d_id = 0;
+  std::int32_t c_w_id = 0;
+  char c_first[16] = {};
+  char c_middle[2] = {};
+  char c_last[16] = {};
+  char c_street_1[20] = {};
+  char c_city[20] = {};
+  char c_state[2] = {};
+  char c_zip[9] = {};
+  char c_phone[16] = {};
+  std::int64_t c_since = 0;
+  char c_credit[2] = {};  ///< "GC" or "BC"
+  Money c_credit_lim = 0;
+  std::int32_t c_discount = 0;  ///< basis points
+  Money c_balance = 0;
+  Money c_ytd_payment = 0;
+  std::int32_t c_payment_cnt = 0;
+  std::int32_t c_delivery_cnt = 0;
+  char c_data[64] = {};
+};
+
+struct History {  // packed: append-only ring, rows may share lines
+  std::int32_t h_c_id = 0;
+  std::int32_t h_c_d_id = 0;
+  std::int32_t h_c_w_id = 0;
+  std::int32_t h_d_id = 0;
+  std::int32_t h_w_id = 0;
+  std::int64_t h_date = 0;
+  Money h_amount = 0;
+  char h_data[24] = {};
+};
+
+struct alignas(si::util::kLineSize) Order {
+  std::int64_t o_id = 0;
+  std::int32_t o_d_id = 0;
+  std::int32_t o_w_id = 0;
+  std::int32_t o_c_id = 0;
+  std::int64_t o_entry_d = 0;
+  std::int32_t o_carrier_id = 0;  ///< 0 = not yet delivered
+  std::int32_t o_ol_cnt = 0;
+  std::int32_t o_all_local = 0;
+};
+
+struct OrderLine {  // packed: two rows per 128-byte line, like a row store
+  std::int64_t ol_o_id = 0;
+  std::int32_t ol_number = 0;
+  std::int32_t ol_i_id = 0;
+  std::int32_t ol_supply_w_id = 0;
+  std::int32_t ol_quantity = 0;
+  std::int64_t ol_delivery_d = 0;
+  Money ol_amount = 0;
+  char ol_dist_info[24] = {};
+};
+static_assert(sizeof(OrderLine) == 64);
+
+struct alignas(si::util::kLineSize) Item {
+  std::int32_t i_id = 0;
+  std::int32_t i_im_id = 0;
+  char i_name[24] = {};
+  Money i_price = 0;
+  char i_data[32] = {};
+};
+
+struct alignas(si::util::kLineSize) Stock {
+  std::int32_t s_i_id = 0;
+  std::int32_t s_w_id = 0;
+  std::int32_t s_quantity = 0;
+  char s_dist[kDistrictsPerWarehouse][24] = {};
+  std::int64_t s_ytd = 0;
+  std::int32_t s_order_cnt = 0;
+  std::int32_t s_remote_cnt = 0;
+  char s_data[32] = {};
+};
+
+}  // namespace si::tpcc

@@ -1,0 +1,71 @@
+// TPC-C input generation (clauses 2.1.6, 4.3.2): the NURand non-uniform
+// distribution, the syllable-composed customer last names, and the random
+// a-string/n-string helpers used by the loader.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace si::tpcc {
+
+/// Run-wide NURand constants (clause 2.1.6.1). Fixed per run; the C values
+/// the spec draws once per run are fixed here for reproducibility.
+struct NurandC {
+  std::uint64_t c_last = 123;   ///< for C_LAST (A = 255)
+  std::uint64_t c_c_id = 259;   ///< for C_ID (A = 1023)
+  std::uint64_t c_ol_i_id = 7911;  ///< for OL_I_ID (A = 8191)
+};
+
+/// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y - x + 1)) + x.
+inline std::uint64_t nurand(si::util::Xoshiro256& rng, std::uint64_t a,
+                            std::uint64_t x, std::uint64_t y, std::uint64_t c) {
+  return (((rng.uniform(0, a) | rng.uniform(x, y)) + c) % (y - x + 1)) + x;
+}
+
+/// Customer last name from a number in [0, 999] (clause 4.3.2.3): the
+/// concatenation of three syllables indexed by the number's digits.
+inline void lastname(int num, char out[16]) {
+  static constexpr const char* kSyllables[10] = {
+      "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"};
+  std::string s;
+  s += kSyllables[(num / 100) % 10];
+  s += kSyllables[(num / 10) % 10];
+  s += kSyllables[num % 10];
+  std::memset(out, 0, 16);
+  std::memcpy(out, s.data(), std::min<std::size_t>(s.size(), 15));
+}
+
+/// Last-name number for loading customer `c_id` (clause 4.3.3.1): the first
+/// 1000 customers get sequential names, the rest NURand-distributed ones.
+inline int lastname_number_for_load(int c_id, si::util::Xoshiro256& rng,
+                                    const NurandC& c) {
+  if (c_id <= 1000) return c_id - 1;
+  return static_cast<int>(nurand(rng, 255, 0, 999, c.c_last));
+}
+
+/// Random alphanumeric string of length in [lo, hi], NUL-padded into `out`.
+template <std::size_t N>
+void astring(si::util::Xoshiro256& rng, std::size_t lo, std::size_t hi, char (&out)[N]) {
+  static constexpr char kAlpha[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const std::size_t len = std::min(N, lo + rng.below(hi - lo + 1));
+  std::memset(out, 0, N);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = kAlpha[rng.below(sizeof(kAlpha) - 1)];
+  }
+}
+
+/// Random numeric string of exactly `len` characters.
+template <std::size_t N>
+void nstring(si::util::Xoshiro256& rng, std::size_t len, char (&out)[N]) {
+  std::memset(out, 0, N);
+  for (std::size_t i = 0; i < std::min(N, len); ++i) {
+    out[i] = static_cast<char>('0' + rng.below(10));
+  }
+}
+
+}  // namespace si::tpcc

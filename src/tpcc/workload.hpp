@@ -1,0 +1,164 @@
+// TPC-C workload driver: transaction mix control and per-terminal state.
+//
+// The mix follows the paper's artifact flags: -s (stock-level), -d
+// (delivery), -o (order-status), -p (payment), -r (new-order), in percent.
+// The paper evaluates two mixes:
+//   standard       : -s 4 -d 4 -o 4  -p 43 -r 45
+//   read-dominated : -s 4 -d 4 -o 80 -p 4  -r 8
+// Contention is tuned by the warehouse count (low = one warehouse per core,
+// high = a single shared warehouse).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tpcc/db.hpp"
+#include "tpcc/transactions.hpp"
+#include "util/rng.hpp"
+
+namespace si::tpcc {
+
+struct Mix {
+  unsigned stock_level = 4;
+  unsigned delivery = 4;
+  unsigned order_status = 4;
+  unsigned payment = 43;
+  unsigned new_order = 45;
+
+  static Mix standard() { return {4, 4, 4, 43, 45}; }
+  static Mix read_dominated() { return {4, 4, 80, 4, 8}; }
+
+  unsigned total() const {
+    return stock_level + delivery + order_status + payment + new_order;
+  }
+};
+
+enum class TxType : unsigned char {
+  kNewOrder,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+
+constexpr bool is_read_only(TxType t) noexcept {
+  return t == TxType::kOrderStatus || t == TxType::kStockLevel;
+}
+
+/// Owns the database plus per-terminal (thread) state and drives one
+/// mix-sampled transaction per step() on any backend.
+class Workload {
+ public:
+  Workload(const DbConfig& db_cfg, const Mix& mix, int max_threads,
+           std::uint64_t seed = 99)
+      : db_(db_cfg), mix_(mix), terminals_(static_cast<std::size_t>(max_threads)) {
+    for (int t = 0; t < max_threads; ++t) {
+      auto& term = terminals_[static_cast<std::size_t>(t)];
+      term.rng = si::util::Xoshiro256(seed ^ (0xABCDEFULL * (t + 1)));
+      term.home_w = 1 + t % db_cfg.warehouses;  // terminals spread over warehouses
+      term.scratch.reserve(512);
+    }
+  }
+
+  Db& db() noexcept { return db_; }
+  const Mix& mix() const noexcept { return mix_; }
+
+  /// Samples the next transaction type for thread `tid` from the mix.
+  TxType sample(int tid) {
+    auto& rng = terminals_[static_cast<std::size_t>(tid)].rng;
+    const unsigned roll = static_cast<unsigned>(rng.below(mix_.total()));
+    if (roll < mix_.new_order) return TxType::kNewOrder;
+    if (roll < mix_.new_order + mix_.payment) return TxType::kPayment;
+    if (roll < mix_.new_order + mix_.payment + mix_.order_status) {
+      return TxType::kOrderStatus;
+    }
+    if (roll < mix_.new_order + mix_.payment + mix_.order_status + mix_.delivery) {
+      return TxType::kDelivery;
+    }
+    return TxType::kStockLevel;
+  }
+
+  /// Executes one mix-sampled transaction on backend `cc` as thread `tid`.
+  /// Returns the type that ran.
+  template <typename CC>
+  TxType step(CC& cc, int tid) {
+    const TxType type = sample(tid);
+    run(cc, tid, type);
+    return type;
+  }
+
+  /// Executes one transaction of a specific type (tests, ablations).
+  template <typename CC>
+  void run(CC& cc, int tid, TxType type) {
+    Terminal& term = terminals_[static_cast<std::size_t>(tid)];
+    const std::int64_t now = ++term.local_clock;
+
+    switch (type) {
+      case TxType::kNewOrder: {
+        const NewOrderInput in = make_new_order_input(db_, term.home_w, term.rng);
+        cc.execute(false, [&](auto& tx) { new_order(tx, db_, in, now); });
+        break;
+      }
+      case TxType::kPayment: {
+        const PaymentInput in = make_payment_input(db_, term.home_w, term.rng);
+        cc.execute(false, [&](auto& tx) { payment(tx, db_, in, now); });
+        break;
+      }
+      case TxType::kOrderStatus: {
+        const int d = static_cast<int>(term.rng.uniform(1, kDistrictsPerWarehouse));
+        int c_id = 0, c_last = 0;
+        if (term.rng.percent(60)) {
+          const int max_num = db_.config().customers_per_district < 1000
+                                  ? db_.config().customers_per_district - 1
+                                  : 999;
+          c_last = static_cast<int>(nurand(term.rng, 255, 0, 999,
+                                           db_.nurand_constants().c_last)) %
+                   (max_num + 1);
+        } else {
+          c_id = static_cast<int>(nurand(term.rng, 1023, 1,
+                                         db_.config().customers_per_district,
+                                         db_.nurand_constants().c_c_id));
+        }
+        cc.execute(true, [&](auto& tx) {
+          order_status(tx, db_, term.home_w, d, c_id, c_last);
+        });
+        break;
+      }
+      case TxType::kDelivery: {
+        // Deferred per-district execution (clause 2.7.2.1): round-robin.
+        term.next_delivery_district =
+            term.next_delivery_district % kDistrictsPerWarehouse + 1;
+        const int d = term.next_delivery_district;
+        const int carrier = static_cast<int>(term.rng.uniform(1, 10));
+        cc.execute(false, [&](auto& tx) {
+          delivery_district(tx, db_, term.home_w, d, carrier, now);
+        });
+        break;
+      }
+      case TxType::kStockLevel: {
+        const int d = static_cast<int>(term.rng.uniform(1, kDistrictsPerWarehouse));
+        const int threshold = static_cast<int>(term.rng.uniform(10, 20));
+        cc.execute(true, [&](auto& tx) {
+          stock_level(tx, db_, term.home_w, d, threshold, term.scratch);
+        });
+        break;
+      }
+    }
+  }
+
+ private:
+  struct Terminal {
+    si::util::Xoshiro256 rng{0};
+    int home_w = 1;
+    int next_delivery_district = 0;
+    std::int64_t local_clock = 1;
+    std::vector<std::int32_t> scratch;
+  };
+
+  Db db_;
+  Mix mix_;
+  std::vector<Terminal> terminals_;
+};
+
+}  // namespace si::tpcc

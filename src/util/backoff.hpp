@@ -1,0 +1,33 @@
+// Spin-wait backoff: pause briefly, then start yielding the CPU.
+//
+// The emulation's wait loops (safety wait, kill-victim drains, SGL drains)
+// stand in for hardware-thread spinning on the paper's 80-hardware-thread
+// POWER8. On an oversubscribed host, a waiter that never yields can starve
+// the very thread it is waiting for, so after a short pause phase we hand the
+// core back to the scheduler.
+#pragma once
+
+#include <thread>
+
+#include "util/spinlock.hpp"
+
+namespace si::util {
+
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (++spins_ < kPauseSpins) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr int kPauseSpins = 64;
+  int spins_ = 0;
+};
+
+}  // namespace si::util

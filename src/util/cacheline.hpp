@@ -1,0 +1,44 @@
+// Cache-line geometry of the modelled machine (IBM POWER8).
+//
+// POWER8 uses 128-byte cache lines; the TMCAM (the content-addressable memory
+// next to each core's L2 that tracks transactional state) holds 8 KiB, i.e.
+// 64 line entries, shared by all SMT threads co-located on the core
+// [POWER8 User's Manual v1.3; paper section 2.2].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace si::util {
+
+/// Log2 of the modelled cache-line size (POWER8: 128-byte lines).
+inline constexpr unsigned kLineShift = 7;
+
+/// Modelled cache-line size in bytes.
+inline constexpr std::size_t kLineSize = std::size_t{1} << kLineShift;
+
+/// TMCAM capacity per core, in cache lines (8 KiB / 128 B).
+inline constexpr std::size_t kTmcamLinesPerCore = 64;
+
+/// Identifier of a cache line: the address right-shifted by kLineShift.
+using LineId = std::uintptr_t;
+
+/// Maps any address to the id of the cache line containing it.
+constexpr LineId line_of(const void* addr) noexcept {
+  return reinterpret_cast<std::uintptr_t>(addr) >> kLineShift;
+}
+
+/// Maps a raw (simulated) address value to its line id.
+constexpr LineId line_of(std::uintptr_t addr) noexcept {
+  return addr >> kLineShift;
+}
+
+/// Number of distinct cache lines spanned by [addr, addr + size).
+constexpr std::size_t lines_spanned(std::uintptr_t addr, std::size_t size) noexcept {
+  if (size == 0) return 0;
+  const LineId first = addr >> kLineShift;
+  const LineId last = (addr + size - 1) >> kLineShift;
+  return static_cast<std::size_t>(last - first + 1);
+}
+
+}  // namespace si::util

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Flags follow the paper artifact's convention: `-o 80 -p 4` style
+// single-dash options with a value, plus `--name=value` long options and
+// boolean `--name` switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace si::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  /// Value of `-name value` / `--name=value`, or `def` if absent.
+  std::string get(std::string_view name, std::string_view def = "") const;
+  std::int64_t get_int(std::string_view name, std::int64_t def) const;
+  double get_double(std::string_view name, double def) const;
+  bool has(std::string_view name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Parses a comma-separated integer list ("1,2,4,8"); returns `def` on empty.
+std::vector<int> parse_int_list(std::string_view text, std::vector<int> def);
+
+}  // namespace si::util

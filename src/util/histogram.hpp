@@ -1,0 +1,72 @@
+// Log2-bucketed histogram for latency-style measurements (commit latency,
+// safety-wait duration). Constant-size, mergeable across threads, percentile
+// queries without storing samples.
+#pragma once
+
+#include <cstdint>
+
+namespace si::util {
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept {
+    ++counts_[bucket_of(value)];
+    ++total_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  /// Resolution is a factor of 2 — adequate for latency tails.
+  std::uint64_t quantile(double q) const noexcept {
+    if (total_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > target) return upper_bound(i);
+    }
+    return upper_bound(kBuckets - 1);
+  }
+
+  std::uint64_t bucket_count(int bucket) const noexcept { return counts_[bucket]; }
+
+  /// Bucket k (k >= 1) holds values in [2^(k-1), 2^k - 1]; bucket 0 holds 0.
+  /// The top bucket (63) absorbs everything with bit 63 set.
+  static int bucket_of(std::uint64_t value) noexcept {
+    if (value == 0) return 0;
+    const int b = 64 - __builtin_clzll(value);
+    return b > kBuckets - 1 ? kBuckets - 1 : b;
+  }
+
+  static std::uint64_t upper_bound(int bucket) noexcept {
+    if (bucket <= 0) return 0;
+    if (bucket >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace si::util

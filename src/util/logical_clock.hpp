@@ -1,0 +1,32 @@
+// Global logical clock standing in for the POWER timebase register.
+//
+// Algorithm 1 of the paper publishes `currentTime()` (clock cycles) in the
+// per-thread state array, with the encoding: 0 = inactive, 1 = completed,
+// >1 = active since that timestamp. A fetch-add counter preserves the two
+// properties the algorithm needs — monotonicity and values > 1 — while being
+// portable and totally ordered across threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace si::util {
+
+class LogicalClock {
+ public:
+  /// First value ever returned is 2, keeping 0/1 reserved for the
+  /// inactive/completed sentinels of the SI-HTM state array.
+  std::uint64_t now() noexcept {
+    return ticks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Current value without advancing (diagnostics only).
+  std::uint64_t peek() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ticks_{2};
+};
+
+}  // namespace si::util

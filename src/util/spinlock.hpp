@@ -1,0 +1,97 @@
+// Test-and-test-and-set spinlocks used for line-table buckets and the SGL.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace si::util {
+
+/// One pause/yield hint for a spin-wait loop body.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__powerpc64__)
+  __asm__ volatile("or 27,27,27");  // thread-priority-low hint
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Minimal TTAS spinlock. Satisfies Lockable, so it composes with
+/// std::lock_guard / std::scoped_lock.
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() noexcept {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Single global lock with owner identity, as required by the SGL fall-back
+/// paths of HTM and SI-HTM. `kNoOwner` means unlocked. The owner id lets
+/// TxEndExt distinguish "I hold the SGL" from "somebody else does"
+/// (Algorithm 2, line 31 of the paper).
+class OwnedGlobalLock {
+ public:
+  static constexpr std::uint32_t kNoOwner = ~std::uint32_t{0};
+
+  /// True iff any thread currently holds the lock.
+  bool is_locked() const noexcept {
+    return owner_.load(std::memory_order_acquire) != kNoOwner;
+  }
+
+  /// True iff thread `tid` currently holds the lock.
+  bool is_locked_by(std::uint32_t tid) const noexcept {
+    return owner_.load(std::memory_order_acquire) == tid;
+  }
+
+  /// Blocking acquire, spinning until the lock is free.
+  void lock(std::uint32_t tid) noexcept {
+    std::uint32_t expected = kNoOwner;
+    while (!owner_.compare_exchange_weak(expected, tid, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+      expected = kNoOwner;
+      cpu_relax();
+    }
+  }
+
+  bool try_lock(std::uint32_t tid) noexcept {
+    std::uint32_t expected = kNoOwner;
+    return owner_.compare_exchange_strong(expected, tid, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept { owner_.store(kNoOwner, std::memory_order_release); }
+
+  /// Raw owner word; plain-HTM transactions read this to subscribe to the
+  /// lock (the read puts the lock's line into their read set, so a later
+  /// acquisition aborts them).
+  std::uint32_t owner_word() const noexcept {
+    return owner_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint32_t> owner_{kNoOwner};
+};
+
+}  // namespace si::util

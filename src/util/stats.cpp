@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace si::util {
+
+std::string_view to_string(AbortCause cause) noexcept {
+  switch (cause) {
+    case AbortCause::kNone: return "none";
+    case AbortCause::kConflictRead: return "conflict-read";
+    case AbortCause::kConflictWrite: return "conflict-write";
+    case AbortCause::kCapacity: return "capacity";
+    case AbortCause::kKilledBySgl: return "killed-by-sgl";
+    case AbortCause::kExplicit: return "explicit";
+    case AbortCause::kKilledAsStraggler: return "killed-as-straggler";
+    default: return "?";
+  }
+}
+
+std::string_view to_string(AbortClass cls) noexcept {
+  switch (cls) {
+    case AbortClass::kTransactional: return "transactional";
+    case AbortClass::kNonTransactional: return "non-transactional";
+    case AbortClass::kCapacity: return "capacity";
+    default: return "?";
+  }
+}
+
+ThreadStats& ThreadStats::operator+=(const ThreadStats& other) noexcept {
+  commits += other.commits;
+  ro_commits += other.ro_commits;
+  sgl_commits += other.sgl_commits;
+  for (int i = 0; i < static_cast<int>(AbortCause::kCauseCount_); ++i) {
+    aborts_by_cause[i] += other.aborts_by_cause[i];
+  }
+  wait_cycles += other.wait_cycles;
+  sgl_wait_cycles += other.sgl_wait_cycles;
+  return *this;
+}
+
+std::uint64_t RunStats::total_aborts() const noexcept {
+  std::uint64_t sum = 0;
+  for (int i = 1; i < static_cast<int>(AbortCause::kCauseCount_); ++i) {
+    sum += totals.aborts_by_cause[i];
+  }
+  return sum;
+}
+
+std::uint64_t RunStats::aborts_in_class(AbortClass cls) const noexcept {
+  std::uint64_t sum = 0;
+  for (int i = 1; i < static_cast<int>(AbortCause::kCauseCount_); ++i) {
+    if (classify(static_cast<AbortCause>(i)) == cls) {
+      sum += totals.aborts_by_cause[i];
+    }
+  }
+  return sum;
+}
+
+double RunStats::abort_pct() const noexcept {
+  const auto att = attempts();
+  return att == 0 ? 0.0 : 100.0 * static_cast<double>(total_aborts()) / att;
+}
+
+double RunStats::abort_pct(AbortClass cls) const noexcept {
+  const auto att = attempts();
+  return att == 0 ? 0.0 : 100.0 * static_cast<double>(aborts_in_class(cls)) / att;
+}
+
+RunStats aggregate(const std::vector<ThreadStats>& per_thread, double elapsed_seconds) {
+  RunStats out;
+  for (const auto& ts : per_thread) out.totals += ts;
+  out.elapsed_seconds = elapsed_seconds;
+  return out;
+}
+
+void print_series(std::ostream& os, std::string_view system,
+                  const std::vector<SeriesPoint>& points, double tx_scale) {
+  os << "system: " << system << '\n';
+  os << std::left << std::setw(26) << "  threads";
+  for (const auto& p : points) os << std::right << std::setw(9) << p.threads;
+  os << '\n';
+
+  os << std::left << std::setw(26) << "  throughput (scaled tx/s)";
+  os << std::fixed << std::setprecision(2);
+  for (const auto& p : points) {
+    os << std::right << std::setw(9) << p.stats.throughput() / tx_scale;
+  }
+  os << '\n';
+
+  static constexpr AbortClass kClasses[] = {
+      AbortClass::kTransactional, AbortClass::kNonTransactional, AbortClass::kCapacity};
+  for (AbortClass cls : kClasses) {
+    std::string label = "  aborts% ";
+    label += to_string(cls);
+    os << std::left << std::setw(26) << label;
+    for (const auto& p : points) {
+      os << std::right << std::setw(9) << p.stats.abort_pct(cls);
+    }
+    os << '\n';
+  }
+  os << std::left << std::setw(26) << "  aborts% total";
+  for (const auto& p : points) {
+    os << std::right << std::setw(9) << p.stats.abort_pct();
+  }
+  os << '\n';
+}
+
+}  // namespace si::util

@@ -1,0 +1,106 @@
+// Execution statistics shared by the real-thread runtime, the discrete-event
+// simulator and the benchmark harnesses.
+//
+// The paper's evaluation discriminates aborts into three classes
+// (section 4.1): "transactional" (conflicting accesses to shared memory),
+// "non-transactional" (mostly a locked SGL killing ongoing transactions) and
+// "capacity" (TMCAM exhaustion). We keep the finer-grained causes and fold
+// them into those three classes when printing paper-style rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace si::util {
+
+/// Why a hardware (emulated) transaction aborted.
+enum class AbortCause : std::uint8_t {
+  kNone = 0,
+  kConflictRead,     ///< our tracked line was read by somebody else
+  kConflictWrite,    ///< write-write conflict (the "last writer" dies)
+  kCapacity,         ///< TMCAM budget exhausted
+  kKilledBySgl,      ///< SGL acquisition killed subscribed transactions
+  kExplicit,         ///< self-abort (validation failure, user abort)
+  kKilledAsStraggler,  ///< killed by completed transactions' straggler policy
+  kCauseCount_,
+};
+
+std::string_view to_string(AbortCause cause) noexcept;
+
+/// Paper's three-way abort classification.
+enum class AbortClass : std::uint8_t {
+  kTransactional = 0,
+  kNonTransactional,
+  kCapacity,
+  kClassCount_,
+};
+
+std::string_view to_string(AbortClass cls) noexcept;
+
+/// Maps a cause to the class the paper plots it under.
+constexpr AbortClass classify(AbortCause cause) noexcept {
+  switch (cause) {
+    case AbortCause::kCapacity:
+      return AbortClass::kCapacity;
+    case AbortCause::kKilledBySgl:
+      return AbortClass::kNonTransactional;
+    default:
+      return AbortClass::kTransactional;
+  }
+}
+
+/// Per-thread counters; aggregated (summed) across threads at the end of a
+/// run. Cache-line padded so counting never causes false sharing.
+struct alignas(128) ThreadStats {
+  std::uint64_t commits = 0;        ///< transactions committed (any path)
+  std::uint64_t ro_commits = 0;     ///< committed via the read-only fast path
+  std::uint64_t sgl_commits = 0;    ///< committed under the SGL fall-back
+  std::uint64_t aborts_by_cause[static_cast<int>(AbortCause::kCauseCount_)] = {};
+  std::uint64_t wait_cycles = 0;    ///< time spent in the safety wait
+  std::uint64_t sgl_wait_cycles = 0;
+
+  void record_abort(AbortCause cause) noexcept {
+    ++aborts_by_cause[static_cast<int>(cause)];
+  }
+
+  ThreadStats& operator+=(const ThreadStats& other) noexcept;
+};
+
+/// Aggregated view of a run, with the derived quantities the paper reports.
+struct RunStats {
+  ThreadStats totals;
+  double elapsed_seconds = 0.0;
+
+  std::uint64_t total_aborts() const noexcept;
+  std::uint64_t aborts_in_class(AbortClass cls) const noexcept;
+  std::uint64_t attempts() const noexcept { return totals.commits + total_aborts(); }
+
+  /// Committed transactions per second.
+  double throughput() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(totals.commits) / elapsed_seconds
+                               : 0.0;
+  }
+
+  /// Abort rate as plotted by the paper: aborts / started transactions.
+  double abort_pct() const noexcept;
+  double abort_pct(AbortClass cls) const noexcept;
+};
+
+/// Accumulates the thread-stats of a whole run into a RunStats.
+RunStats aggregate(const std::vector<ThreadStats>& per_thread, double elapsed_seconds);
+
+/// One series point of a figure: a (threads, stats) pair for one system.
+struct SeriesPoint {
+  int threads = 0;
+  RunStats stats;
+};
+
+/// Prints the paper-style block for one system: a throughput row and the
+/// three abort-class rows, one column per thread count.
+void print_series(std::ostream& os, std::string_view system,
+                  const std::vector<SeriesPoint>& points, double tx_scale);
+
+}  // namespace si::util

@@ -1,0 +1,79 @@
+// Tests of the multi-thread run driver (runtime/driver.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "runtime/driver.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace si::runtime;
+
+TEST(DriverTest, RunThreadsExecutesSetupAndWorkerPerThread) {
+  std::atomic<int> setups{0};
+  std::atomic<int> workers{0};
+  const double secs = run_threads(
+      4, std::chrono::nanoseconds{0},
+      [&](int tid) {
+        EXPECT_GE(tid, 0);
+        EXPECT_LT(tid, 4);
+        setups.fetch_add(1);
+      },
+      [&](WorkerContext ctx) {
+        EXPECT_FALSE(ctx.should_stop());
+        workers.fetch_add(1);
+      });
+  EXPECT_EQ(setups.load(), 4);
+  EXPECT_EQ(workers.load(), 4);
+  EXPECT_GT(secs, 0.0);
+}
+
+TEST(DriverTest, TimedRunSetsStopFlag) {
+  std::atomic<std::uint64_t> iterations{0};
+  run_threads(
+      2, std::chrono::milliseconds{50}, [](int) {},
+      [&](WorkerContext ctx) {
+        while (!ctx.should_stop()) {
+          iterations.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      });
+  EXPECT_GT(iterations.load(), 0u);
+}
+
+TEST(DriverTest, FixedOpsRunsExactQuota) {
+  RuntimeConfig cfg;
+  cfg.backend = Backend::kSiHtm;
+  cfg.max_threads = 4;
+  Runtime rt(cfg);
+  struct alignas(128) Cell {
+    std::uint64_t v = 0;
+  } cell;
+
+  const auto stats = run_fixed_ops(rt, 3, 50, [&](int) {
+    rt.execute(false, [&](auto& tx) { tx.write(&cell.v, cell.v + 1); });
+  });
+  EXPECT_EQ(stats.totals.commits, 150u);
+}
+
+TEST(DriverTest, StatsResetBetweenRuns) {
+  RuntimeConfig cfg;
+  cfg.backend = Backend::kSilo;
+  cfg.max_threads = 2;
+  Runtime rt(cfg);
+  struct alignas(128) Cell {
+    std::uint64_t v = 0;
+  } cell;
+
+  auto op = [&](int) {
+    rt.execute(false, [&](auto& tx) { tx.write(&cell.v, tx.read(&cell.v) + 1); });
+  };
+  const auto first = run_fixed_ops(rt, 2, 20, op);
+  const auto second = run_fixed_ops(rt, 2, 10, op);
+  EXPECT_EQ(first.totals.commits, 40u);
+  EXPECT_EQ(second.totals.commits, 20u);  // not 60: stats were reset
+}
+
+}  // namespace

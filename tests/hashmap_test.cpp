@@ -1,0 +1,251 @@
+// Tests of the transactional hash map and its workload driver across all
+// four backends.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "hashmap/hashmap.hpp"
+#include "hashmap/node_pool.hpp"
+#include "hashmap/workload.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace si::hashmap;
+
+// A trivial pass-through transaction handle for single-threaded unit tests
+// of the data structure itself.
+struct DirectTx {
+  template <typename T>
+  T read(const T* addr) {
+    return *addr;
+  }
+  template <typename T>
+  void write(T* addr, const T& v) {
+    *addr = v;
+  }
+};
+
+TEST(NodePoolTest, AllocateReuseAfterGenerations) {
+  Pool pool;
+  Node* a = pool.allocate();
+  EXPECT_EQ(pool.allocated(), 1u);
+  pool.retire(a);
+  // Not reusable until kGenerations advances have passed.
+  for (int i = 0; i < Pool::kGenerations - 1; ++i) {
+    pool.advance();
+  }
+  Node* b = pool.allocate();
+  EXPECT_NE(b, a);
+  pool.advance();  // now a's generation has been recycled
+  Node* c = pool.allocate();
+  EXPECT_EQ(c, a);
+}
+
+TEST(NodePoolTest, ReleaseIsImmediatelyReusable) {
+  Pool pool;
+  Node* a = pool.allocate();
+  pool.release(a);
+  EXPECT_EQ(pool.allocate(), a);
+}
+
+TEST(HashMapTest, SeedLookup) {
+  HashMap map(16);
+  Pool pool;
+  map.seed(1, 100, pool);
+  map.seed(17, 200, pool);  // same bucket as 1 (mod 16)
+  map.seed(2, 300, pool);
+  EXPECT_EQ(map.count(), 3u);
+
+  DirectTx tx;
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.lookup(tx, 1, &v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_TRUE(map.lookup(tx, 17, &v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_FALSE(map.lookup(tx, 33, &v));
+}
+
+TEST(HashMapTest, InsertNewAndUpdateExisting) {
+  HashMap map(8);
+  Pool pool;
+  DirectTx tx;
+
+  Node* fresh = pool.allocate();
+  EXPECT_TRUE(map.insert(tx, 5, 50, fresh));
+  EXPECT_EQ(map.count(), 1u);
+
+  Node* fresh2 = pool.allocate();
+  EXPECT_FALSE(map.insert(tx, 5, 55, fresh2));  // update in place
+  pool.release(fresh2);
+  EXPECT_EQ(map.count(), 1u);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.lookup(tx, 5, &v));
+  EXPECT_EQ(v, 55u);
+}
+
+TEST(HashMapTest, PrependAllowsDuplicatesAndPairsWithRemove) {
+  HashMap map(4);
+  Pool pool;
+  DirectTx tx;
+  map.prepend(tx, 9, 90, pool.allocate());
+  map.prepend(tx, 9, 91, pool.allocate());  // duplicate key, multiset style
+  EXPECT_EQ(map.count(), 2u);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.lookup(tx, 9, &v));
+  EXPECT_EQ(v, 91u);  // most recent prepend is found first
+
+  Node* unlinked = nullptr;
+  EXPECT_TRUE(map.remove(tx, 9, &unlinked));
+  EXPECT_EQ(unlinked->value, 91u);  // removes the head-most match
+  EXPECT_EQ(map.count(), 1u);
+  EXPECT_TRUE(map.lookup(tx, 9, &v));
+  EXPECT_EQ(v, 90u);
+}
+
+TEST(HashMapTest, RemoveHeadMiddleAndMissing) {
+  HashMap map(1);  // single bucket: controls chain order (prepend)
+  Pool pool;
+  DirectTx tx;
+  map.seed(1, 10, pool);
+  map.seed(2, 20, pool);
+  map.seed(3, 30, pool);  // chain: 3 -> 2 -> 1
+
+  Node* unlinked = nullptr;
+  EXPECT_TRUE(map.remove(tx, 2, &unlinked));  // middle
+  ASSERT_NE(unlinked, nullptr);
+  EXPECT_EQ(unlinked->key, 2u);
+  EXPECT_EQ(map.count(), 2u);
+
+  EXPECT_TRUE(map.remove(tx, 3, &unlinked));  // head
+  EXPECT_EQ(map.count(), 1u);
+
+  EXPECT_FALSE(map.remove(tx, 99, &unlinked));
+  EXPECT_EQ(map.count(), 1u);
+
+  std::uint64_t v = 0;
+  EXPECT_TRUE(map.lookup(tx, 1, &v));
+  EXPECT_EQ(v, 10u);
+}
+
+TEST(HashMapTest, ChainLengthMatchesSeedCount) {
+  HashMap map(10);
+  Pool pool;
+  for (std::uint64_t k = 0; k < 500; ++k) map.seed(k, k, pool);
+  EXPECT_EQ(map.count(), 500u);  // ~50 per bucket
+}
+
+// Cross-backend integration: concurrent inserts/removes/lookups keep the
+// map's node count an exact function of committed operations.
+class HashMapBackendTest : public ::testing::TestWithParam<si::runtime::Backend> {};
+
+TEST_P(HashMapBackendTest, ConcurrentInsertRemoveKeepsCountExact) {
+  si::runtime::RuntimeConfig cfg;
+  cfg.backend = GetParam();
+  cfg.max_threads = 8;
+  si::runtime::Runtime rt(cfg);
+
+  HashMap map(32);
+  Pool seed_pool;
+  constexpr std::uint64_t kSeeded = 256;
+  for (std::uint64_t k = 0; k < kSeeded; ++k) map.seed(k, 1, seed_pool);
+
+  constexpr int kThreads = 3;
+  constexpr int kPairs = 150;  // each thread: insert (fresh key) then remove it
+  std::vector<Pool> pools(kThreads);
+
+  si::runtime::run_fixed_ops(rt, kThreads, kPairs, [&](int tid) {
+    // Each thread works on its private key range: structural churn in shared
+    // buckets without logical interference.
+    thread_local std::uint64_t next = 0;
+    const std::uint64_t key = 100000 + 1000 * static_cast<std::uint64_t>(tid) + next++;
+    Pool& pool = pools[static_cast<std::size_t>(tid)];
+
+    Node* fresh = pool.allocate();
+    bool used = false;
+    rt.execute(false, [&](auto& tx) { used = map.insert(tx, key, 7, fresh); });
+    if (!used) pool.release(fresh);
+    pool.advance();
+
+    Node* unlinked = nullptr;
+    rt.execute(false, [&](auto& tx) {
+      unlinked = nullptr;
+      map.remove(tx, key, &unlinked);
+    });
+    if (unlinked != nullptr) pool.retire(unlinked);
+    pool.advance();
+  });
+
+  EXPECT_EQ(map.count(), kSeeded);  // every insert matched by its remove
+}
+
+TEST_P(HashMapBackendTest, LookupsSeeSeededValues) {
+  si::runtime::RuntimeConfig cfg;
+  cfg.backend = GetParam();
+  cfg.max_threads = 8;
+  si::runtime::Runtime rt(cfg);
+
+  HashMap map(16);
+  Pool pool;
+  for (std::uint64_t k = 0; k < 64; ++k) map.seed(k, k * 3, pool);
+
+  si::runtime::run_fixed_ops(rt, 2, 200, [&](int tid) {
+    thread_local si::util::Xoshiro256 rng(13 + tid);
+    const std::uint64_t key = rng.below(64);
+    std::uint64_t v = 0;
+    bool found = false;
+    rt.execute(true, [&](auto& tx) { found = map.lookup(tx, key, &v); });
+    ASSERT_TRUE(found);
+    ASSERT_EQ(v, key * 3);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, HashMapBackendTest,
+    ::testing::Values(si::runtime::Backend::kHtm, si::runtime::Backend::kSiHtm,
+                      si::runtime::Backend::kP8tm, si::runtime::Backend::kSilo),
+    [](const auto& info) {
+      return std::string(si::runtime::to_string(info.param)) == "SI-HTM"
+                 ? "SiHtm"
+                 : std::string(si::runtime::to_string(info.param));
+    });
+
+TEST(WorkloadTest, SeedsExpectedElementCount) {
+  WorkloadConfig cfg;
+  cfg.buckets = 100;
+  cfg.avg_chain = 50;
+  Workload w(cfg, 4);
+  EXPECT_EQ(w.map().count(), 5000u);
+  EXPECT_EQ(w.key_space(), 10000u);
+}
+
+TEST(WorkloadTest, StepsRunOnEveryBackendAndKeepSizeStationary) {
+  for (auto backend : {si::runtime::Backend::kHtm, si::runtime::Backend::kSiHtm,
+                       si::runtime::Backend::kP8tm, si::runtime::Backend::kSilo}) {
+    si::runtime::RuntimeConfig rcfg;
+    rcfg.backend = backend;
+    rcfg.max_threads = 8;
+    si::runtime::Runtime rt(rcfg);
+
+    WorkloadConfig cfg;
+    cfg.buckets = 50;
+    cfg.avg_chain = 10;
+    cfg.ro_pct = 50;
+    Workload w(cfg, 2);
+    const std::size_t seeded = w.map().count();
+
+    si::runtime::run_fixed_ops(rt, 2, 100, [&](int tid) { w.step(rt, tid); });
+
+    // Each thread's updates alternate insert/remove; at most one insert per
+    // thread can be outstanding.
+    const std::size_t final_count = w.map().count();
+    EXPECT_LE(final_count, seeded + 2);
+    EXPECT_GE(final_count + 2, seeded);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Unit tests for the conflict table (ReaderSet, LineEntry, LineTable).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "p8htm/line_table.hpp"
+
+namespace {
+
+using namespace si::p8;
+
+TEST(ReaderSetTest, SetTestClear) {
+  ReaderSet rs;
+  EXPECT_TRUE(rs.empty());
+  rs.set(0);
+  rs.set(63);
+  rs.set(64);
+  rs.set(kMaxThreads - 1);
+  EXPECT_TRUE(rs.test(0));
+  EXPECT_TRUE(rs.test(63));
+  EXPECT_TRUE(rs.test(64));
+  EXPECT_TRUE(rs.test(kMaxThreads - 1));
+  EXPECT_FALSE(rs.test(1));
+  rs.clear(63);
+  EXPECT_FALSE(rs.test(63));
+  EXPECT_FALSE(rs.empty());
+}
+
+TEST(ReaderSetTest, AnyOtherExcludesSelf) {
+  ReaderSet rs;
+  rs.set(5);
+  EXPECT_FALSE(rs.any_other(5));
+  EXPECT_TRUE(rs.any_other(6));
+  rs.set(70);
+  EXPECT_TRUE(rs.any_other(5));
+}
+
+TEST(ReaderSetTest, ForEachOtherEnumeratesAllButSkip) {
+  ReaderSet rs;
+  rs.set(1);
+  rs.set(64);
+  rs.set(100);
+  std::set<int> seen;
+  rs.for_each_other(64, [&](int t) { seen.insert(t); });
+  EXPECT_EQ(seen, (std::set<int>{1, 100}));
+  seen.clear();
+  rs.for_each_other(-1, [&](int t) { seen.insert(t); });
+  EXPECT_EQ(seen, (std::set<int>{1, 64, 100}));
+}
+
+TEST(LineEntryTest, UnownedSemantics) {
+  LineEntry e;
+  EXPECT_TRUE(e.unowned());
+  e.writer = 3;
+  EXPECT_FALSE(e.unowned());
+  e.writer = LineEntry::kNoWriter;
+  e.readers.set(2);
+  EXPECT_FALSE(e.unowned());
+  e.readers.clear(2);
+  EXPECT_TRUE(e.unowned());
+}
+
+TEST(LineTableTest, FindOrCreateThenReclaim) {
+  LineTable table(8);
+  auto& bucket = table.bucket_for(42);
+  std::lock_guard guard(bucket.lock);
+  EXPECT_EQ(bucket.find(42), nullptr);
+  LineEntry& e = bucket.find_or_create(42);
+  EXPECT_EQ(e.line, 42u);
+  EXPECT_EQ(bucket.find(42), &e);
+  bucket.reclaim_if_unowned(42);
+  EXPECT_EQ(bucket.find(42), nullptr);
+}
+
+TEST(LineTableTest, ReclaimKeepsOwnedEntry) {
+  LineTable table(8);
+  auto& bucket = table.bucket_for(7);
+  std::lock_guard guard(bucket.lock);
+  LineEntry& e = bucket.find_or_create(7);
+  e.readers.set(1);
+  bucket.reclaim_if_unowned(7);
+  EXPECT_NE(bucket.find(7), nullptr);
+  e.readers.clear(1);
+  bucket.reclaim_if_unowned(7);
+  EXPECT_EQ(bucket.find(7), nullptr);
+}
+
+TEST(LineTableTest, DistinctLinesCoexistInOneBucket) {
+  LineTable table(1);  // 2 buckets: heavy collisions by construction
+  std::vector<si::util::LineId> lines = {1, 3, 5, 7, 9, 11};
+  for (auto l : lines) {
+    auto& b = table.bucket_for(l);
+    std::lock_guard guard(b.lock);
+    b.find_or_create(l).writer = static_cast<std::int32_t>(l);
+  }
+  for (auto l : lines) {
+    auto& b = table.bucket_for(l);
+    std::lock_guard guard(b.lock);
+    auto* e = b.find(l);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->writer, static_cast<std::int32_t>(l));
+  }
+}
+
+TEST(LineTableTest, BucketCountMatchesBits) {
+  EXPECT_EQ(LineTable(4).bucket_count(), 16u);
+  EXPECT_EQ(LineTable(0).bucket_count(), 1u);
+}
+
+}  // namespace

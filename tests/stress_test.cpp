@@ -1,0 +1,195 @@
+// Fault-injection and adversarial stress for the P8-HTM emulation: kill
+// storms, suspend/resume churn, capacity pressure from all sides, and mixed
+// plain/transactional traffic. These tests care about liveness (no deadlock
+// in the kill/help protocol) and the no-uncommitted-data invariant under
+// hostile interleavings, not about throughput.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "p8htm/htm.hpp"
+#include "sihtm/sihtm.hpp"
+#include "util/backoff.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace si::p8;
+using si::util::AbortCause;
+using si::util::kLineSize;
+
+struct alignas(kLineSize) Cell {
+  std::uint64_t v = 0;
+};
+
+TEST(StressKillStorm, SweeperVsSubscribersStaysLive) {
+  // One thread repeatedly sweeps a line with kill_line_owners while several
+  // others subscribe to it — the handshake must neither deadlock nor leak
+  // registrations. Subscribers run a *bounded* number of transactions: a
+  // single sweep only returns once the line is momentarily unowned, so an
+  // unbounded re-subscription storm could starve it (real SGL subscribers
+  // stop re-subscribing once they observe the lock taken).
+  HtmRuntime rt{HtmConfig{}};
+  Cell lock_word;
+  std::atomic<int> active_subscribers{3};
+  std::atomic<std::uint64_t> kills{0}, survivals{0};
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    rt.register_thread(0);
+    while (active_subscribers.load(std::memory_order_acquire) > 0) {
+      rt.kill_line_owners(&lock_word, AbortCause::kKilledBySgl);
+      std::this_thread::yield();
+    }
+    rt.kill_line_owners(&lock_word, AbortCause::kKilledBySgl);  // final sweep
+  });
+  for (int t = 1; t <= 3; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);
+      for (int i = 0; i < 150; ++i) {
+        rt.begin(TxMode::kHtm);
+        try {
+          rt.subscribe_line(&lock_word);
+          for (int spin = 0; spin < 50; ++spin) rt.check_killed();
+          rt.commit();
+          survivals.fetch_add(1, std::memory_order_relaxed);
+        } catch (const TxAbort&) {
+          kills.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      active_subscribers.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(kills.load() + survivals.load(), 3u * 150u);
+  // After the storm the line must be fully released (the sweep returned).
+}
+
+TEST(StressSuspend, HelpersRollBackSuspendedVictimsUnderChurn) {
+  // Writers suspend mid-transaction while readers hammer their write sets;
+  // every read must return the pre-transactional value via helper rollback.
+  HtmRuntime rt{HtmConfig{}};
+  constexpr int kWriters = 2, kReaders = 2, kRounds = 150;
+  std::vector<Cell> cells(8);
+  for (auto& c : cells) c.v = 7;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);
+      si::util::Xoshiro256 rng(50 + t);
+      for (int i = 0; i < kRounds; ++i) {
+        const auto idx = rng.below(cells.size());
+        try {
+          rt.begin(TxMode::kRot);
+          rt.store(&cells[idx].v, std::uint64_t{999});
+          rt.suspend();
+          std::this_thread::yield();  // linger suspended: helpers must act
+          rt.resume();
+          // Roll our own write back so the invariant value 7 is permanent.
+          rt.self_abort(AbortCause::kExplicit);
+        } catch (const TxAbort&) {
+        }
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);
+      si::util::Xoshiro256 rng(80 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto idx = rng.below(cells.size());
+        const auto seen = rt.plain_load(&cells[idx].v);
+        if (seen != 7) bad.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load()) << "a reader observed an uncommitted value";
+  for (auto& c : cells) EXPECT_EQ(c.v, 7u);
+}
+
+TEST(StressCapacity, TmcamNeverLeaksUnderAbortChurn) {
+  HtmRuntime rt{HtmConfig{}};
+  constexpr int kThreads = 3;
+  std::vector<Cell> cells(200);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);  // distinct cores (scatter pinning)
+      si::util::Xoshiro256 rng(90 + t);
+      for (int i = 0; i < 200; ++i) {
+        const auto n = 32 + rng.below(64);  // sometimes exceeds 64
+        try {
+          rt.begin(TxMode::kRot);
+          for (std::uint64_t k = 0; k < n; ++k) {
+            rt.store(&cells[(t * 67 + k) % cells.size()].v, k);
+          }
+          rt.commit();
+        } catch (const TxAbort&) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int core = 0; core < 10; ++core) {
+    EXPECT_EQ(rt.tmcam_used(core), 0u) << "core " << core;
+  }
+}
+
+TEST(StressMixed, SiHtmSurvivesAdversarialMixAndStaysConsistent) {
+  si::sihtm::SiHtmConfig cfg;
+  cfg.max_threads = 6;
+  cfg.retries = 3;
+  si::sihtm::SiHtm cc(cfg);
+  constexpr int kCells = 6;
+  constexpr std::uint64_t kInitial = 500;
+  std::vector<Cell> cells(kCells);
+  for (auto& c : cells) c.v = kInitial;
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> bad{false};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      cc.register_thread(t);
+      si::util::Xoshiro256 rng(700 + t);
+      for (int i = 0; i < 400; ++i) {
+        const int choice = static_cast<int>(rng.below(3));
+        if (choice == 0) {  // scan
+          std::uint64_t sum = 0;
+          cc.execute(true, [&](auto& tx) {
+            sum = 0;
+            for (auto& c : cells) sum += tx.read(&c.v);
+          });
+          if (sum != kInitial * kCells) bad.store(true);
+        } else if (choice == 1) {  // transfer
+          const int a = static_cast<int>(rng.below(kCells));
+          const int b = (a + 1) % kCells;
+          cc.execute(false, [&](auto& tx) {
+            const auto va = tx.read(&cells[a].v);
+            const auto vb = tx.read(&cells[b].v);
+            tx.write(&cells[a].v, va - 1);
+            tx.write(&cells[b].v, vb + 1);
+          });
+        } else {  // oversized write set: forces the SGL path under churn
+          Cell scratch[70];
+          cc.execute(false, [&](auto& tx) {
+            for (auto& s : scratch) tx.write(&s.v, std::uint64_t{1});
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad.load());
+  std::uint64_t total = 0;
+  for (auto& c : cells) total += c.v;
+  EXPECT_EQ(total, kInitial * kCells);
+}
+
+}  // namespace
