@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_killing.dir/ablation_killing.cpp.o"
+  "CMakeFiles/ablation_killing.dir/ablation_killing.cpp.o.d"
+  "ablation_killing"
+  "ablation_killing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_killing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

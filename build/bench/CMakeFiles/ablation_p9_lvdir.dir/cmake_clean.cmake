@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_p9_lvdir.dir/ablation_p9_lvdir.cpp.o"
+  "CMakeFiles/ablation_p9_lvdir.dir/ablation_p9_lvdir.cpp.o.d"
+  "ablation_p9_lvdir"
+  "ablation_p9_lvdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_p9_lvdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

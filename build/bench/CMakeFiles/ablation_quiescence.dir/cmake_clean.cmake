@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quiescence.dir/ablation_quiescence.cpp.o"
+  "CMakeFiles/ablation_quiescence.dir/ablation_quiescence.cpp.o.d"
+  "ablation_quiescence"
+  "ablation_quiescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quiescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ro_path.dir/ablation_ro_path.cpp.o"
+  "CMakeFiles/ablation_ro_path.dir/ablation_ro_path.cpp.o.d"
+  "ablation_ro_path"
+  "ablation_ro_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ro_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

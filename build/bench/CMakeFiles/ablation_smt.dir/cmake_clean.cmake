@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smt.dir/ablation_smt.cpp.o"
+  "CMakeFiles/ablation_smt.dir/ablation_smt.cpp.o.d"
+  "ablation_smt"
+  "ablation_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

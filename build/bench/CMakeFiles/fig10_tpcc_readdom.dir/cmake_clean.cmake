@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpcc_readdom.dir/fig10_tpcc_readdom.cpp.o"
+  "CMakeFiles/fig10_tpcc_readdom.dir/fig10_tpcc_readdom.cpp.o.d"
+  "fig10_tpcc_readdom"
+  "fig10_tpcc_readdom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpcc_readdom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hashmap_large_ro.dir/fig6_hashmap_large_ro.cpp.o"
+  "CMakeFiles/fig6_hashmap_large_ro.dir/fig6_hashmap_large_ro.cpp.o.d"
+  "fig6_hashmap_large_ro"
+  "fig6_hashmap_large_ro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hashmap_large_ro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

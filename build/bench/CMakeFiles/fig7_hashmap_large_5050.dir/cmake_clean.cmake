@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hashmap_large_5050.dir/fig7_hashmap_large_5050.cpp.o"
+  "CMakeFiles/fig7_hashmap_large_5050.dir/fig7_hashmap_large_5050.cpp.o.d"
+  "fig7_hashmap_large_5050"
+  "fig7_hashmap_large_5050.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hashmap_large_5050.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_hashmap_large_5050.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hashmap_small_ro.dir/fig8_hashmap_small_ro.cpp.o"
+  "CMakeFiles/fig8_hashmap_small_ro.dir/fig8_hashmap_small_ro.cpp.o.d"
+  "fig8_hashmap_small_ro"
+  "fig8_hashmap_small_ro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hashmap_small_ro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tpcc_standard.dir/fig9_tpcc_standard.cpp.o"
+  "CMakeFiles/fig9_tpcc_standard.dir/fig9_tpcc_standard.cpp.o.d"
+  "fig9_tpcc_standard"
+  "fig9_tpcc_standard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tpcc_standard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

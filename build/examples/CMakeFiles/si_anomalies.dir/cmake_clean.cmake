@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_anomalies.dir/si_anomalies.cpp.o"
+  "CMakeFiles/si_anomalies.dir/si_anomalies.cpp.o.d"
+  "si_anomalies"
+  "si_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_p8htm.dir/htm.cpp.o"
+  "CMakeFiles/si_p8htm.dir/htm.cpp.o.d"
+  "libsi_p8htm.a"
+  "libsi_p8htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_p8htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

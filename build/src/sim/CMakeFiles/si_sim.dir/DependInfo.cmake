@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backends.cpp" "src/sim/CMakeFiles/si_sim.dir/backends.cpp.o" "gcc" "src/sim/CMakeFiles/si_sim.dir/backends.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/si_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/si_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/sim/CMakeFiles/si_sim.dir/fiber.cpp.o" "gcc" "src/sim/CMakeFiles/si_sim.dir/fiber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p8htm/CMakeFiles/si_p8htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/si_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sim.dir/backends.cpp.o"
+  "CMakeFiles/si_sim.dir/backends.cpp.o.d"
+  "CMakeFiles/si_sim.dir/engine.cpp.o"
+  "CMakeFiles/si_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/si_sim.dir/fiber.cpp.o"
+  "CMakeFiles/si_sim.dir/fiber.cpp.o.d"
+  "libsi_sim.a"
+  "libsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

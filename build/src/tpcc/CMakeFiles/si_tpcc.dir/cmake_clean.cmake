@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_tpcc.dir/db.cpp.o"
+  "CMakeFiles/si_tpcc.dir/db.cpp.o.d"
+  "libsi_tpcc.a"
+  "libsi_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_util.dir/cli.cpp.o"
+  "CMakeFiles/si_util.dir/cli.cpp.o.d"
+  "CMakeFiles/si_util.dir/stats.cpp.o"
+  "CMakeFiles/si_util.dir/stats.cpp.o.d"
+  "libsi_util.a"
+  "libsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_table_test.dir/line_table_test.cpp.o"
+  "CMakeFiles/line_table_test.dir/line_table_test.cpp.o.d"
+  "line_table_test"
+  "line_table_test.pdb"
+  "line_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sihtm_test.dir/sihtm_test.cpp.o"
+  "CMakeFiles/sihtm_test.dir/sihtm_test.cpp.o.d"
+  "sihtm_test"
+  "sihtm_test.pdb"
+  "sihtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sihtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_edge_test.dir/tpcc_edge_test.cpp.o"
+  "CMakeFiles/tpcc_edge_test.dir/tpcc_edge_test.cpp.o.d"
+  "tpcc_edge_test"
+  "tpcc_edge_test.pdb"
+  "tpcc_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
