@@ -11,6 +11,7 @@
 #include <cassert>
 #include <vector>
 
+#include "check/history.hpp"
 #include "p8htm/htm.hpp"
 #include "util/backoff.hpp"
 #include "util/spinlock.hpp"
@@ -22,6 +23,9 @@ struct HtmSglConfig {
   si::p8::HtmConfig htm{};
   int max_threads = 80;
   int retries = 10;
+
+  /// Optional history recording (see SiHtmConfig::recorder for caveats).
+  si::check::HistoryRecorder* recorder = nullptr;
 };
 
 class HtmSgl;
@@ -31,7 +35,9 @@ class HtmSglTx {
  public:
   template <typename T>
   T read(const T* addr) {
-    return hw_ ? rt_.load(addr) : rt_.plain_load(addr);
+    const T out = hw_ ? rt_.load(addr) : rt_.plain_load(addr);
+    if (rec_) rec_->read(rt_.thread_id(), addr, sizeof(T), &out);
+    return out;
   }
   template <typename T>
   void write(T* addr, const T& value) {
@@ -40,6 +46,7 @@ class HtmSglTx {
     } else {
       rt_.plain_store(addr, value);
     }
+    if (rec_) rec_->write(rt_.thread_id(), addr, sizeof(T), &value);
   }
   void read_bytes(void* dst, const void* src, std::size_t n) {
     if (hw_) {
@@ -47,6 +54,7 @@ class HtmSglTx {
     } else {
       rt_.plain_load_bytes(dst, src, n);
     }
+    if (rec_) rec_->read(rt_.thread_id(), src, n, dst);
   }
   void write_bytes(void* dst, const void* src, std::size_t n) {
     if (hw_) {
@@ -54,13 +62,17 @@ class HtmSglTx {
     } else {
       rt_.plain_store_bytes(dst, src, n);
     }
+    if (rec_) rec_->write(rt_.thread_id(), dst, n, src);
   }
 
  private:
   friend class HtmSgl;
-  HtmSglTx(si::p8::HtmRuntime& rt, bool hw) : rt_(rt), hw_(hw) {}
+  HtmSglTx(si::p8::HtmRuntime& rt, bool hw,
+           si::check::HistoryRecorder* rec = nullptr)
+      : rt_(rt), hw_(hw), rec_(rec) {}
   si::p8::HtmRuntime& rt_;
   bool hw_;
+  si::check::HistoryRecorder* rec_;
 };
 
 class HtmSgl {
@@ -81,6 +93,7 @@ class HtmSgl {
     for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
       si::util::Backoff backoff;
       while (gl_.is_locked()) backoff.pause();  // don't waste an attempt
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
       rt_.begin(si::p8::TxMode::kHtm);
       try {
         // Early subscription: track the lock word, then check its value.
@@ -91,12 +104,14 @@ class HtmSgl {
         if (gl_.is_locked()) {
           rt_.self_abort(si::util::AbortCause::kKilledBySgl);
         }
-        HtmSglTx tx(rt_, /*hw=*/true);
+        HtmSglTx tx(rt_, /*hw=*/true, cfg_.recorder);
         body(tx);
         rt_.commit();
+        if (cfg_.recorder) cfg_.recorder->commit(tid);
         ++st.commits;
         return;
       } catch (const si::p8::TxAbort& abort) {
+        if (cfg_.recorder) cfg_.recorder->abort(tid);
         st.record_abort(abort.cause);
         if (abort.cause == si::util::AbortCause::kCapacity) {
           break;  // persistent failure: retrying cannot help, take the SGL
@@ -108,8 +123,10 @@ class HtmSgl {
     // Abort every subscribed transaction, as the store to the lock word does
     // on real hardware.
     rt_.kill_line_owners(&gl_, si::util::AbortCause::kKilledBySgl);
-    HtmSglTx tx(rt_, /*hw=*/false);
+    if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
+    HtmSglTx tx(rt_, /*hw=*/false, cfg_.recorder);
     body(tx);
+    if (cfg_.recorder) cfg_.recorder->commit(tid);
     gl_.unlock();
     ++st.commits;
     ++st.sgl_commits;

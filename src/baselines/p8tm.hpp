@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "baselines/version_table.hpp"
+#include "check/history.hpp"
 #include "p8htm/htm.hpp"
 #include "sihtm/state_table.hpp"
 #include "util/backoff.hpp"
@@ -40,6 +41,9 @@ struct P8tmConfig {
   int max_threads = 80;
   int retries = 10;
   unsigned version_table_bits = 20;
+
+  /// Optional history recording (see SiHtmConfig::recorder for caveats).
+  si::check::HistoryRecorder* recorder = nullptr;
 };
 
 class P8tm;
@@ -93,8 +97,10 @@ class P8tm {
 
     if (is_ro) {
       sync_with_gl(tid);
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/true);
       P8tmTx tx(*this, P8tmTx::Path::kReadOnly);
       body(tx);
+      if (cfg_.recorder) cfg_.recorder->commit(tid);
       std::atomic_thread_fence(std::memory_order_release);
       state_.set(tid, si::sihtm::kInactive);
       ++st.commits;
@@ -107,6 +113,7 @@ class P8tm {
       Log& log = logs_[static_cast<std::size_t>(tid)];
       log.reads.clear();
       log.writes.clear();
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
       rt_.begin(si::p8::TxMode::kRot);
       try {
         P8tmTx tx(*this, P8tmTx::Path::kRot);
@@ -115,6 +122,7 @@ class P8tm {
         ++st.commits;
         return;
       } catch (const si::p8::TxAbort& abort) {
+        if (cfg_.recorder) cfg_.recorder->abort(tid);
         st.record_abort(abort.cause);
         state_.set(tid, si::sihtm::kInactive);
         if (abort.cause == si::util::AbortCause::kCapacity) {
@@ -132,11 +140,13 @@ class P8tm {
     }
     logs_[static_cast<std::size_t>(tid)].reads.clear();
     logs_[static_cast<std::size_t>(tid)].writes.clear();
+    if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
     P8tmTx tx(*this, P8tmTx::Path::kSgl);
     body(tx);
     // SGL writes are immediately visible; advance versions so optimistic
     // readers that overlapped the drain cannot validate stale reads.
     for (const auto& w : logs_[static_cast<std::size_t>(tid)].writes) versions_.bump(w);
+    if (cfg_.recorder) cfg_.recorder->commit(tid);
     gl_.unlock();
     ++st.commits;
     ++st.sgl_commits;
@@ -212,6 +222,7 @@ class P8tm {
       }
     }
     rt_.commit();  // HTMEnd
+    if (cfg_.recorder) cfg_.recorder->commit(tid);
     state_.set(tid, si::sihtm::kInactive);
   }
 
@@ -238,12 +249,15 @@ inline void P8tmTx::read_bytes(void* dst, const void* src, std::size_t n) {
         log.reads.push_back({line, owner_.versions_.read_stable(line)});
       }
       owner_.rt_.load_bytes(dst, src, n);
-      return;
+      break;
     }
     case Path::kReadOnly:
     case Path::kSgl:
       owner_.rt_.plain_load_bytes(dst, src, n);
-      return;
+      break;
+  }
+  if (owner_.cfg_.recorder) {
+    owner_.cfg_.recorder->read(owner_.rt_.thread_id(), src, n, dst);
   }
 }
 
@@ -258,6 +272,9 @@ inline void P8tmTx::write_bytes(void* dst, const void* src, std::size_t n) {
     owner_.rt_.store_bytes(dst, src, n);
   } else {
     owner_.rt_.plain_store_bytes(dst, src, n);
+  }
+  if (owner_.cfg_.recorder) {
+    owner_.cfg_.recorder->write(owner_.rt_.thread_id(), dst, n, src);
   }
 }
 

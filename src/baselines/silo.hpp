@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "baselines/version_table.hpp"
+#include "check/history.hpp"
 #include "util/backoff.hpp"
 #include "util/cacheline.hpp"
 #include "util/stats.hpp"
@@ -32,6 +33,9 @@ struct SiloConfig {
   int max_threads = 80;
   unsigned version_table_bits = 20;
   int max_read_spins = 1024;  ///< spins on a locked line before aborting
+
+  /// Optional history recording (see SiHtmConfig::recorder for caveats).
+  si::check::HistoryRecorder* recorder = nullptr;
 };
 
 class Silo;
@@ -85,16 +89,22 @@ class Silo {
 
     for (;;) {
       ctx.reset();
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
       try {
         SiloTx tx(*this, tid);
         body(tx);
         if (try_commit(ctx)) {
+          // Stamped after the install in try_commit; on real threads
+          // another thread may read the new values first (see
+          // SiHtmConfig::recorder on multi-threaded accuracy).
+          if (cfg_.recorder) cfg_.recorder->commit(tid);
           ++st.commits;
           if (ctx.writes.empty()) ++st.ro_commits;
           return;
         }
       } catch (const SiloAbort&) {
       }
+      if (cfg_.recorder) cfg_.recorder->abort(tid);
       st.record_abort(si::util::AbortCause::kConflictRead);
     }
   }
@@ -242,6 +252,9 @@ inline void SiloTx::read_bytes(void* dst, const void* src, std::size_t n) {
                   static_cast<std::size_t>(hi - lo));
     }
   }
+  if (owner_.cfg_.recorder) {
+    owner_.cfg_.recorder->read(tid_, src, n, dst);
+  }
 }
 
 inline void SiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
@@ -250,6 +263,9 @@ inline void SiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
   ctx.buffer.resize(offset + n);
   std::memcpy(ctx.buffer.data() + offset, src, n);
   ctx.writes.push_back({dst, static_cast<std::uint32_t>(n), offset});
+  if (owner_.cfg_.recorder) {
+    owner_.cfg_.recorder->write(tid_, dst, n, src);
+  }
 }
 
 }  // namespace si::baselines

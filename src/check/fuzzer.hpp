@@ -1,0 +1,346 @@
+// Deterministic schedule fuzzer for the simulated concurrency controls.
+//
+// One schedule = one SimEngine run whose fiber interleaving is perturbed by
+// seeded virtual-time jitter (SimMachineConfig::schedule_jitter_ns): every
+// wait point becomes a reproducible coin toss over which fiber runs next.
+// The workload is a small ledger + notepad chosen to make SI violations
+// visible to the offline verifier:
+//
+//  * "transfer" transactions move a few units between two ledger cells —
+//    under SI, first-committer-wins makes the total conserved;
+//  * "note" transactions write globally unique values to two note cells and
+//    re-read one of them (read-own-writes);
+//  * read-only scans sum the ledger and read every note — a torn scan (the
+//    Fig. 3 snapshot anomaly) shows up as an empty snapshot intersection.
+//
+// Each schedule is a pure function of its seed: replaying a failing seed
+// (run_schedule with keep_history) reproduces the identical event log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/verify.hpp"
+#include "sim/backends.hpp"
+#include "sim/engine.hpp"
+#include "util/cacheline.hpp"
+#include "util/rng.hpp"
+
+namespace si::check {
+
+/// Simulated backends the fuzzer can drive. kRawRot is SI-HTM minus the
+/// safety wait (the UNSAFE ablation of bench/ablation_quiescence.cpp) — it
+/// exists so tests can assert the checker *catches* the resulting anomalies.
+enum class FuzzBackend { kSiHtm, kHtmSgl, kSilo, kP8tm, kRawRot };
+
+inline std::string_view to_string(FuzzBackend b) noexcept {
+  switch (b) {
+    case FuzzBackend::kSiHtm: return "si-htm";
+    case FuzzBackend::kHtmSgl: return "htm";
+    case FuzzBackend::kSilo: return "silo";
+    case FuzzBackend::kP8tm: return "p8tm";
+    case FuzzBackend::kRawRot: return "raw-rot";
+  }
+  return "?";
+}
+
+inline FuzzBackend fuzz_backend_from_string(std::string_view name) {
+  if (name == "si-htm" || name == "sihtm") return FuzzBackend::kSiHtm;
+  if (name == "htm" || name == "htm-sgl") return FuzzBackend::kHtmSgl;
+  if (name == "silo") return FuzzBackend::kSilo;
+  if (name == "p8tm") return FuzzBackend::kP8tm;
+  if (name == "raw-rot" || name == "rawrot") return FuzzBackend::kRawRot;
+  throw std::invalid_argument("unknown fuzz backend: " + std::string(name));
+}
+
+struct FuzzConfig {
+  FuzzBackend backend = FuzzBackend::kSiHtm;
+  int threads = 4;
+  int ledger_cells = 6;
+  int note_cells = 4;
+  unsigned ro_pct = 40;    ///< % of steps that are read-only scans
+  unsigned note_pct = 35;  ///< % of steps that are note writes (rest: transfers)
+  double virtual_ns = 40000;  ///< virtual deadline of one schedule
+  double jitter_ns = 150;     ///< schedule perturbation per wait point
+  double straggler_kill_after_ns = 0;  ///< SI-HTM killing policy (0 = off)
+  int retries = 8;
+  bool keep_history = false;  ///< retain the full event log in the report
+};
+
+/// Outcome of one seeded schedule.
+struct ScheduleReport {
+  std::uint64_t seed = 0;
+  bool ledger_conserved = true;
+  std::uint64_t straggler_kills = 0;  ///< aborts from the killing policy
+  VerifyResult verify;
+  std::vector<Event> history;  ///< only if FuzzConfig::keep_history
+
+  bool ok() const noexcept { return ledger_conserved && verify.ok(); }
+};
+
+struct FuzzSummary {
+  int schedules = 0;
+  int failures = 0;
+  std::uint64_t straggler_kills = 0;  ///< total across all schedules
+  std::vector<std::uint64_t> failing_seeds;
+  ScheduleReport first_failure;  ///< replayed with full history
+
+  bool ok() const noexcept { return failures == 0; }
+};
+
+/// SI-HTM with the safety wait ablated: update ROTs issue HTMEnd immediately
+/// after the body (mirrors bench/ablation_quiescence.cpp), read-only
+/// transactions skip the state table entirely. NOT a correct SI
+/// implementation — the fuzzer's intentionally-broken mode.
+class SimRawRot {
+ public:
+  explicit SimRawRot(si::sim::SimEngine& eng, int retries = 10,
+                     HistoryRecorder* rec = nullptr)
+      : eng_(eng), retries_(retries), rec_(rec), backoff_(eng.threads()) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    const int tid = eng_.current_tid();
+    auto& st = eng_.stats(tid);
+    const auto& lat = eng_.config().lat;
+
+    if (is_ro) {
+      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
+      si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kReadOnly, rec_);
+      body(tx);
+      if (rec_) rec_->commit(tid, eng_.now());
+      eng_.wait(lat.fence);
+      ++st.commits;
+      ++st.ro_commits;
+      return;
+    }
+    for (int attempt = 0;; ++attempt) {
+      eng_.wait(lat.rot_begin);
+      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
+      eng_.tx_begin(si::sim::SimTxMode::kRot);
+      bool committed = true;
+      try {
+        si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kRot, rec_);
+        body(tx);
+        eng_.wait(lat.tx_commit);
+        eng_.tx_commit();  // no safety wait: straight HTMEnd
+        if (rec_) rec_->commit(tid, eng_.now());
+      } catch (const si::sim::TxAbort& abort) {
+        if (rec_) rec_->abort(tid, eng_.now());
+        st.record_abort(abort.cause);
+        committed = false;
+      }
+      if (committed) {
+        ++st.commits;
+        return;
+      }
+      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
+    }
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return eng_.thread_stats();
+  }
+
+ private:
+  si::sim::SimEngine& eng_;
+  int retries_;
+  HistoryRecorder* rec_;
+  si::sim::SimBackoff backoff_;
+};
+
+/// Ledger + notepad workload (file comment). All cells are one line each and
+/// 8 bytes wide, so every recorded value is verbatim, never hashed, and a
+/// single access can never tear across lines.
+class FuzzWorkload {
+ public:
+  static constexpr std::uint64_t kInitialBalance = 100;
+
+  FuzzWorkload(const FuzzConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg),
+        ledger_(static_cast<std::size_t>(cfg.ledger_cells)),
+        notes_(static_cast<std::size_t>(cfg.note_cells)),
+        note_counters_(static_cast<std::size_t>(cfg.threads), 0) {
+    for (auto& c : ledger_) c.v = kInitialBalance;
+    for (int t = 0; t < cfg.threads; ++t) {
+      rngs_.emplace_back(seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(t));
+    }
+  }
+
+  /// Declares every cell's starting value (call before the run).
+  void record_init(HistoryRecorder& rec) const {
+    for (const auto& c : ledger_) rec.init(&c.v, sizeof c.v, &c.v);
+    for (const auto& c : notes_) rec.init(&c.v, sizeof c.v, &c.v);
+  }
+
+  /// One transaction on thread `tid`. All random choices are drawn before
+  /// the body so retried attempts replay the same logical transaction.
+  template <typename CC>
+  void step(CC& cc, int tid) {
+    auto& rng = rngs_[static_cast<std::size_t>(tid)];
+    const std::uint64_t pick = rng.below(100);
+
+    if (pick < cfg_.ro_pct) {
+      cc.execute(true, [&](auto& tx) {
+        std::uint64_t sum = 0;
+        for (const auto& c : ledger_) sum += tx.read(&c.v);
+        for (const auto& c : notes_) sum ^= tx.read(&c.v);
+        (void)sum;  // consistency is judged offline by the verifier
+      });
+      return;
+    }
+
+    if (pick < cfg_.ro_pct + cfg_.note_pct) {
+      // Globally unique note values: (tid+1) in the top bits, a per-thread
+      // counter below — the verifier can attribute every read exactly.
+      auto& counter = note_counters_[static_cast<std::size_t>(tid)];
+      const std::uint64_t val =
+          (static_cast<std::uint64_t>(tid) + 1) << 48 | ++counter << 1;
+      const auto a = rng.below(notes_.size());
+      const auto b = rng.below(notes_.size());
+      cc.execute(false, [&](auto& tx) {
+        tx.write(&notes_[a].v, val);
+        if (b != a) tx.write(&notes_[b].v, val | 1);
+        (void)tx.read(&notes_[a].v);  // exercises read-own-writes
+      });
+      return;
+    }
+
+    const auto a = rng.below(ledger_.size());
+    auto b = rng.below(ledger_.size() - 1);
+    if (b >= a) ++b;  // distinct cells
+    const std::uint64_t delta = 1 + rng.below(3);
+    cc.execute(false, [&](auto& tx) {
+      const std::uint64_t va = tx.read(&ledger_[a].v);
+      const std::uint64_t vb = tx.read(&ledger_[b].v);
+      tx.write(&ledger_[a].v, va - delta);
+      tx.write(&ledger_[b].v, vb + delta);
+    });
+  }
+
+  /// Rewrites heap addresses in `events` to stable logical ids (ledger cell
+  /// i -> 0x10*(i+1), note j -> 0x1000+0x10*j) so that kept histories from
+  /// two replays of the same seed compare byte-identical even though the
+  /// allocator placed the cells elsewhere.
+  void normalize(std::vector<Event>& events) const {
+    std::map<std::uintptr_t, std::uintptr_t> remap;
+    for (std::size_t i = 0; i < ledger_.size(); ++i) {
+      remap[reinterpret_cast<std::uintptr_t>(&ledger_[i].v)] = 0x10 * (i + 1);
+    }
+    for (std::size_t j = 0; j < notes_.size(); ++j) {
+      remap[reinterpret_cast<std::uintptr_t>(&notes_[j].v)] = 0x1000 + 0x10 * j;
+    }
+    for (auto& e : events) {
+      const auto it = remap.find(e.addr);
+      if (it != remap.end()) e.addr = it->second;
+    }
+  }
+
+  /// First-committer-wins makes transfers atomic read-modify-writes, so the
+  /// total is invariant under any correct SI backend (wrap-around included).
+  bool ledger_conserved() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : ledger_) sum += c.v;
+    return sum == kInitialBalance * ledger_.size();
+  }
+
+ private:
+  struct alignas(si::util::kLineSize) Cell {
+    std::uint64_t v = 0;
+  };
+
+  FuzzConfig cfg_;
+  std::vector<Cell> ledger_;
+  std::vector<Cell> notes_;
+  std::vector<si::util::Xoshiro256> rngs_;
+  std::vector<std::uint64_t> note_counters_;
+};
+
+/// Runs one seeded schedule end-to-end: build engine + workload, drive the
+/// chosen backend to the virtual deadline, verify the recorded history.
+inline ScheduleReport run_schedule(const FuzzConfig& cfg, std::uint64_t seed) {
+  si::sim::SimMachineConfig mcfg;
+  mcfg.schedule_jitter_ns = cfg.jitter_ns;
+  mcfg.schedule_seed = seed;
+  si::sim::SimEngine eng(mcfg, cfg.threads);
+  HistoryRecorder rec(cfg.threads);
+  FuzzWorkload w(cfg, seed);
+  w.record_init(rec);
+
+  auto drive = [&](auto& cc) {
+    eng.run(cfg.virtual_ns, [&](int tid) { w.step(cc, tid); });
+  };
+  switch (cfg.backend) {
+    case FuzzBackend::kSiHtm: {
+      si::sim::SimSiHtm cc(eng, cfg.retries, cfg.straggler_kill_after_ns, &rec);
+      drive(cc);
+      break;
+    }
+    case FuzzBackend::kHtmSgl: {
+      si::sim::SimHtmSgl cc(eng, cfg.retries, &rec);
+      drive(cc);
+      break;
+    }
+    case FuzzBackend::kSilo: {
+      si::sim::SimSilo cc(eng, &rec);
+      drive(cc);
+      break;
+    }
+    case FuzzBackend::kP8tm: {
+      si::sim::SimP8tm cc(eng, cfg.retries, &rec);
+      drive(cc);
+      break;
+    }
+    case FuzzBackend::kRawRot: {
+      SimRawRot cc(eng, cfg.retries, &rec);
+      drive(cc);
+      break;
+    }
+  }
+
+  ScheduleReport r;
+  r.seed = seed;
+  r.ledger_conserved = w.ledger_conserved();
+  for (int t = 0; t < cfg.threads; ++t) {
+    r.straggler_kills += eng.stats(t).aborts_by_cause[static_cast<int>(
+        si::util::AbortCause::kKilledAsStraggler)];
+  }
+  std::vector<Event> events = rec.merged();
+  // Addresses are opaque to the verifier, so verifying the normalized log
+  // yields the same verdict while making violation messages reproducible
+  // across processes (heap layout no longer leaks into the report).
+  if (cfg.keep_history) w.normalize(events);
+  r.verify = verify_si(events);
+  if (cfg.keep_history) r.history = std::move(events);
+  return r;
+}
+
+/// Runs `n` consecutive seeds starting at `base_seed`. The first failing
+/// seed is re-run with history retention, so FuzzSummary::first_failure
+/// carries the full replayed event log for diagnosis.
+inline FuzzSummary fuzz(const FuzzConfig& cfg, std::uint64_t base_seed, int n) {
+  FuzzSummary s;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    const ScheduleReport r = run_schedule(cfg, seed);
+    ++s.schedules;
+    s.straggler_kills += r.straggler_kills;
+    if (!r.ok()) {
+      ++s.failures;
+      s.failing_seeds.push_back(seed);
+      if (s.failures == 1) {
+        FuzzConfig replay = cfg;
+        replay.keep_history = true;
+        s.first_failure = run_schedule(replay, seed);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace si::check

@@ -1,0 +1,84 @@
+#include "check/history.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace si::check {
+
+std::vector<Event> HistoryRecorder::merged() const {
+  std::vector<Event> out;
+  out.reserve(events_recorded());
+  out.insert(out.end(), init_events_.begin(), init_events_.end());
+  for (const auto& buf : per_thread_) {
+    out.insert(out.end(), buf.begin(), buf.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+std::size_t HistoryRecorder::events_recorded() const {
+  std::size_t n = init_events_.size();
+  for (const auto& buf : per_thread_) n += buf.size();
+  return n;
+}
+
+void HistoryRecorder::clear() {
+  init_events_.clear();
+  for (auto& buf : per_thread_) buf.clear();
+  seq_.store(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kInit: return "init";
+    case EventKind::kBegin: return "begin";
+    case EventKind::kRead: return "read";
+    case EventKind::kWrite: return "write";
+    case EventKind::kCommit: return "commit";
+    case EventKind::kAbort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string dump(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 64);
+  char line[160];
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kInit:
+        std::snprintf(line, sizeof line,
+                      "#%-6" PRIu64 "          init   %#" PRIxPTR
+                      " = %" PRIu64 " (len %u)\n",
+                      e.seq, e.addr, e.value, e.len);
+        break;
+      case EventKind::kBegin:
+        std::snprintf(line, sizeof line,
+                      "#%-6" PRIu64 " t%-3d %s begin%s\n", e.seq, e.tid,
+                      e.vtime > 0 ? "" : " ", e.ro ? " (ro)" : "");
+        break;
+      case EventKind::kRead:
+      case EventKind::kWrite:
+        std::snprintf(line, sizeof line,
+                      "#%-6" PRIu64 " t%-3d  %-6s %#" PRIxPTR " = %" PRIu64
+                      " (len %u)\n",
+                      e.seq, e.tid, kind_name(e.kind), e.addr, e.value, e.len);
+        break;
+      case EventKind::kCommit:
+      case EventKind::kAbort:
+        std::snprintf(line, sizeof line, "#%-6" PRIu64 " t%-3d  %s\n", e.seq,
+                      e.tid, kind_name(e.kind));
+        break;
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace si::check

@@ -1,0 +1,425 @@
+#include "check/verify.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace si::check {
+
+namespace {
+
+constexpr std::uint64_t kSeqInf = std::numeric_limits<std::uint64_t>::max();
+
+/// Half-open [lo, hi) span of logical sequence numbers.
+struct Interval {
+  std::uint64_t lo, hi;
+};
+using Intervals = std::vector<Interval>;
+
+/// Intersection of two sorted, disjoint interval lists.
+Intervals intersect(const Intervals& a, const Intervals& b) {
+  Intervals out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::uint64_t lo = std::max(a[i].lo, b[j].lo);
+    const std::uint64_t hi = std::min(a[i].hi, b[j].hi);
+    if (lo < hi) out.push_back({lo, hi});
+    (a[i].hi < b[j].hi ? i : j) += 1;
+  }
+  return out;
+}
+
+struct TxRec {
+  int tid = -1;
+  std::uint64_t begin_seq = 0;
+  std::uint64_t end_seq = 0;
+  bool ro = false;
+  bool committed = false;
+  std::vector<const Event*> accesses;  ///< reads and writes, log order
+  const Event* begin_ev = nullptr;
+  const Event* end_ev = nullptr;
+  std::uint64_t snapshot_seq = 0;  ///< latest feasible snapshot point
+  bool snapshot_valid = false;
+};
+
+struct Version {
+  std::uint64_t install_seq = 0;
+  std::uint64_t value = 0;
+  bool wildcard = false;          ///< unknown initial value, matches any read
+  const Event* install_ev = nullptr;  ///< commit / init event, for fragments
+};
+
+struct Location {
+  std::uint32_t len = 0;
+  bool checked = true;  ///< false once accessed with inconsistent lengths
+  bool has_init = false;
+  std::vector<Version> versions;  ///< install order
+  std::vector<TxRec*> writers;    ///< committed writers, commit order
+};
+
+std::string format_addr(std::uintptr_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%#" PRIxPTR, addr);
+  return buf;
+}
+
+void sort_fragment(std::vector<Event>& frag) {
+  std::sort(frag.begin(), frag.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  frag.erase(std::unique(frag.begin(), frag.end()), frag.end());
+}
+
+class Verifier {
+ public:
+  explicit Verifier(const std::vector<Event>& history) : events_(history) {
+    std::sort(events_.begin(), events_.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  }
+
+  VerifyResult run() {
+    if (!parse()) return std::move(result_);
+    build_versions();
+    for (TxRec* tx : committed_) check_reads(*tx);
+    check_first_committer_wins();
+    result_.locations = locs_.size();
+    return std::move(result_);
+  }
+
+ private:
+  void add_violation(Violation::Kind kind, std::string message,
+                     std::vector<Event> fragment) {
+    sort_fragment(fragment);
+    result_.violations.push_back(
+        {kind, std::move(message), std::move(fragment)});
+  }
+
+  /// Groups the flat log into per-thread transactions. Returns false (with a
+  /// kMalformed violation) on a structurally broken stream.
+  bool parse() {
+    std::unordered_map<int, TxRec*> open;
+    for (const Event& e : events_) {
+      if (e.kind == EventKind::kInit) continue;
+      TxRec*& cur = open[e.tid];
+      const bool in_tx = cur != nullptr;
+      switch (e.kind) {
+        case EventKind::kBegin:
+          if (in_tx) return malformed(e, "begin inside an open transaction");
+          txs_.emplace_back();
+          cur = &txs_.back();
+          cur->tid = e.tid;
+          cur->ro = e.ro;
+          cur->begin_seq = e.seq;
+          cur->begin_ev = &e;
+          break;
+        case EventKind::kRead:
+        case EventKind::kWrite:
+          if (!in_tx) return malformed(e, "access outside a transaction");
+          cur->accesses.push_back(&e);
+          break;
+        case EventKind::kCommit:
+        case EventKind::kAbort:
+          if (!in_tx) return malformed(e, "end without a begin");
+          cur->end_seq = e.seq;
+          cur->end_ev = &e;
+          cur->committed = e.kind == EventKind::kCommit;
+          if (cur->committed) {
+            ++result_.committed;
+            committed_.push_back(cur);
+          } else {
+            ++result_.aborted;
+          }
+          cur = nullptr;
+          break;
+        case EventKind::kInit:
+          break;
+      }
+    }
+    // Attempts cut off by the end of the run never committed; count them as
+    // aborted so their writes stay invisible.
+    for (auto& [tid, cur] : open) {
+      if (cur != nullptr) ++result_.aborted;
+    }
+    return true;
+  }
+
+  bool malformed(const Event& e, const char* why) {
+    add_violation(Violation::Kind::kMalformed,
+                  std::string("malformed history: ") + why + " (t" +
+                      std::to_string(e.tid) + ", event #" +
+                      std::to_string(e.seq) + ")",
+                  {e});
+    return false;
+  }
+
+  Location* checked_loc(const Event& e) {
+    Location& loc = locs_[e.addr];
+    if (loc.len == 0 && loc.versions.empty() && !loc.has_init) loc.len = e.len;
+    if (loc.len != e.len) loc.checked = false;
+    return loc.checked ? &loc : nullptr;
+  }
+
+  /// Reconstructs the per-location committed version order: init events
+  /// first, then each committed transaction's last write at its commit seq.
+  void build_versions() {
+    for (const Event& e : events_) {
+      if (e.kind == EventKind::kInit) {
+        Location& loc = locs_[e.addr];
+        if (loc.len == 0) loc.len = e.len;
+        if (loc.len != e.len) loc.checked = false;
+        loc.has_init = true;
+        loc.versions.push_back({e.seq, e.value, false, &e});
+      } else if (e.kind == EventKind::kRead || e.kind == EventKind::kWrite) {
+        checked_loc(e);  // establish length consistency for every location
+      }
+    }
+    std::sort(committed_.begin(), committed_.end(),
+              [](const TxRec* a, const TxRec* b) {
+                return a->end_seq < b->end_seq;
+              });
+    for (TxRec* tx : committed_) {
+      std::unordered_map<std::uintptr_t, const Event*> last_write;
+      for (const Event* a : tx->accesses) {
+        if (a->kind == EventKind::kWrite) last_write[a->addr] = a;
+      }
+      for (const auto& [addr, ev] : last_write) {
+        Location& loc = locs_[addr];
+        if (!loc.checked) continue;
+        loc.versions.push_back({tx->end_seq, ev->value, false, tx->end_ev});
+        loc.writers.push_back(tx);
+      }
+    }
+    for (auto& [addr, loc] : locs_) {
+      if (!loc.checked) {
+        ++result_.skipped_locations;
+        continue;
+      }
+      std::sort(loc.versions.begin(), loc.versions.end(),
+                [](const Version& a, const Version& b) {
+                  return a.install_seq < b.install_seq;
+                });
+      if (!loc.has_init) {
+        // Unknown pre-run state: a wildcard version current until the first
+        // install, so unrecorded initial values are never misjudged.
+        loc.versions.insert(loc.versions.begin(), {0, 0, true, nullptr});
+      }
+    }
+  }
+
+  struct ReadConstraint {
+    const Event* ev;
+    Intervals feasible;                  ///< snapshot points this read allows
+    std::vector<const Event*> installs;  ///< install events it matched
+  };
+
+  /// The snapshot points at which read `e` is explainable: the union of the
+  /// currency intervals of every committed version matching its value that
+  /// was installed no later than the read itself.
+  ReadConstraint constrain(const Location& loc, const Event& e) {
+    ReadConstraint rc{&e, {}, {}};
+    for (std::size_t k = 0; k < loc.versions.size(); ++k) {
+      const Version& v = loc.versions[k];
+      if (v.install_seq > e.seq) break;
+      if (!v.wildcard && v.value != e.value) continue;
+      const std::uint64_t next = k + 1 < loc.versions.size()
+                                     ? loc.versions[k + 1].install_seq
+                                     : kSeqInf;
+      if (v.install_seq < next) rc.feasible.push_back({v.install_seq, next});
+      if (v.install_ev != nullptr) rc.installs.push_back(v.install_ev);
+    }
+    return rc;
+  }
+
+  /// R1 + R2 for one committed transaction: replay its accesses, constrain
+  /// the snapshot point with every external read, and pick the latest
+  /// feasible point for the later first-committer-wins pass.
+  void check_reads(TxRec& tx) {
+    std::unordered_map<std::uintptr_t, const Event*> pending;
+    Intervals feasible{{tx.begin_seq, tx.end_seq + 1}};
+    std::vector<ReadConstraint> constraints;
+    bool infeasible = false;
+
+    for (const Event* a : tx.accesses) {
+      auto it = locs_.find(a->addr);
+      if (it == locs_.end() || !it->second.checked) continue;
+      if (a->kind == EventKind::kWrite) {
+        pending[a->addr] = a;
+        continue;
+      }
+      if (auto p = pending.find(a->addr); p != pending.end()) {
+        if (a->value != p->second->value) {
+          add_violation(
+              Violation::Kind::kReadOwnWrite,
+              "t" + std::to_string(tx.tid) + " read " + format_addr(a->addr) +
+                  " = " + std::to_string(a->value) +
+                  " after writing it = " + std::to_string(p->second->value),
+              {*p->second, *a});
+        }
+        continue;  // own-write reads do not constrain the snapshot
+      }
+      ++result_.reads_checked;
+      ReadConstraint rc = constrain(it->second, *a);
+      if (rc.feasible.empty()) {
+        report_dirty_read(tx, *a);
+        continue;
+      }
+      if (infeasible) continue;  // one report per transaction
+      Intervals next = intersect(feasible, rc.feasible);
+      if (next.empty()) {
+        report_non_snapshot(tx, constraints, rc);
+        infeasible = true;
+        continue;
+      }
+      feasible = std::move(next);
+      constraints.push_back(std::move(rc));
+    }
+
+    if (!infeasible) {
+      tx.snapshot_valid = true;
+      tx.snapshot_seq = feasible.back().hi - 1;  // latest feasible point
+    }
+  }
+
+  /// No committed version explains the read: either a dirty read of another
+  /// transaction's pending/aborted write, or a torn value.
+  void report_dirty_read(const TxRec& tx, const Event& read) {
+    std::vector<Event> frag{read};
+    std::string source = "no committed version of " + format_addr(read.addr) +
+                         " ever held this value";
+    const Event* culprit = nullptr;
+    for (const TxRec& other : txs_) {
+      if (&other == &tx) continue;
+      for (const Event* a : other.accesses) {
+        if (a->kind == EventKind::kWrite && a->addr == read.addr &&
+            a->value == read.value && a->seq < read.seq &&
+            (culprit == nullptr || a->seq > culprit->seq)) {
+          culprit = a;
+          if (other.committed && other.end_seq > read.seq) {
+            source = "the value is t" + std::to_string(other.tid) +
+                     "'s write, still uncommitted at the read";
+          } else if (!other.committed) {
+            source = "the value is t" + std::to_string(other.tid) +
+                     "'s write, which never committed";
+          }
+        }
+      }
+    }
+    if (culprit != nullptr) frag.push_back(*culprit);
+    add_violation(Violation::Kind::kDirtyRead,
+                  "t" + std::to_string(tx.tid) + " read " +
+                      format_addr(read.addr) + " = " +
+                      std::to_string(read.value) + ": " + source,
+                  std::move(frag));
+  }
+
+  /// The reads are individually explainable but admit no common snapshot.
+  /// The minimal fragment is the newest read plus the earliest single read
+  /// it conflicts with pairwise (or all constraining reads if the conflict
+  /// only emerges jointly), with the version installs that separate them.
+  void report_non_snapshot(const TxRec& tx,
+                           const std::vector<ReadConstraint>& earlier,
+                           const ReadConstraint& last) {
+    std::vector<Event> frag;
+    const ReadConstraint* pair = nullptr;
+    for (const ReadConstraint& rc : earlier) {
+      if (intersect(rc.feasible, last.feasible).empty()) {
+        pair = &rc;
+        break;
+      }
+    }
+    auto add_constraint = [&frag](const ReadConstraint& rc) {
+      frag.push_back(*rc.ev);
+      for (const Event* inst : rc.installs) frag.push_back(*inst);
+    };
+    if (pair != nullptr) {
+      add_constraint(*pair);
+    } else {
+      for (const ReadConstraint& rc : earlier) add_constraint(rc);
+    }
+    add_constraint(last);
+    add_violation(
+        Violation::Kind::kNonSnapshotRead,
+        "t" + std::to_string(tx.tid) + (tx.ro ? " (read-only)" : "") +
+            " observed a state no single snapshot can explain; read of " +
+            format_addr(last.ev->addr) + " = " + std::to_string(last.ev->value) +
+            " is inconsistent with an earlier read",
+        std::move(frag));
+  }
+
+  /// R3: two committed writers of one location whose [snapshot, commit]
+  /// intervals overlap — the second committer lost the first one's update.
+  void check_first_committer_wins() {
+    for (auto& [addr, loc] : locs_) {
+      if (!loc.checked) continue;
+      for (std::size_t i = 0; i < loc.writers.size(); ++i) {
+        for (std::size_t j = i + 1; j < loc.writers.size(); ++j) {
+          const TxRec* first = loc.writers[i];
+          const TxRec* second = loc.writers[j];
+          if (!second->snapshot_valid ||
+              second->snapshot_seq >= first->end_seq) {
+            continue;
+          }
+          std::vector<Event> frag{*first->end_ev, *second->end_ev};
+          for (const Event* a : second->accesses) {
+            if (a->addr == addr) frag.push_back(*a);
+          }
+          add_violation(Violation::Kind::kLostUpdate,
+                        "t" + std::to_string(second->tid) + " committed a write of " +
+                            format_addr(addr) + " over t" +
+                            std::to_string(first->tid) +
+                            "'s concurrent committed write "
+                            "(first-committer-wins violated)",
+                        std::move(frag));
+        }
+      }
+    }
+  }
+
+  std::vector<Event> events_;
+  std::deque<TxRec> txs_;  ///< deque: stable addresses for writers/committed_
+  std::vector<TxRec*> committed_;
+  std::unordered_map<std::uintptr_t, Location> locs_;
+  VerifyResult result_;
+};
+
+}  // namespace
+
+std::string_view to_string(Violation::Kind kind) noexcept {
+  switch (kind) {
+    case Violation::Kind::kMalformed: return "malformed-history";
+    case Violation::Kind::kDirtyRead: return "dirty-read";
+    case Violation::Kind::kNonSnapshotRead: return "non-snapshot-read";
+    case Violation::Kind::kReadOwnWrite: return "read-own-write";
+    case Violation::Kind::kLostUpdate: return "lost-update";
+  }
+  return "?";
+}
+
+VerifyResult verify_si(const std::vector<Event>& history) {
+  return Verifier(history).run();
+}
+
+std::string describe(const VerifyResult& result) {
+  std::string out = std::to_string(result.committed) + " committed, " +
+                    std::to_string(result.aborted) + " aborted, " +
+                    std::to_string(result.reads_checked) + " reads over " +
+                    std::to_string(result.locations) + " locations";
+  if (result.skipped_locations > 0) {
+    out += " (" + std::to_string(result.skipped_locations) + " skipped)";
+  }
+  if (result.ok()) {
+    out += ": SI holds\n";
+    return out;
+  }
+  out += ": " + std::to_string(result.violations.size()) + " violation(s)\n";
+  for (const Violation& v : result.violations) {
+    out += "  [";
+    out += to_string(v.kind);
+    out += "] " + v.message + "\n" + dump(v.fragment);
+  }
+  return out;
+}
+
+}  // namespace si::check

@@ -1,0 +1,72 @@
+// Offline Snapshot Isolation verifier over recorded histories.
+//
+// Follows the declarative, history-level characterization of SI (Raad, Lahav
+// & Vafeiadis, "On the Semantics of Snapshot Isolation", PAPERS.md): a
+// history is SI iff every committed transaction T can be assigned a single
+// snapshot point s(T) — one instant in the committed-version order — such
+// that
+//   R1 every external read of T returns the committed value of its location
+//      at s(T) (no dirty, torn or aborted reads; read-only transactions see
+//      one consistent snapshot);
+//   R2 reads of T's own pending writes return the latest such write;
+//   R3 first-committer-wins: no two committed transactions whose
+//      [snapshot, commit] intervals overlap write the same location.
+// The snapshot point is existential, not fixed at begin: SI-HTM's safety
+// wait admits histories whose snapshot lands mid-transaction (a transaction
+// that begins during another's quiescence phase adopts that writer's commit
+// as its snapshot), and the verifier searches for any feasible point in
+// [begin, commit] rather than pinning it.
+//
+// The verifier reconstructs the per-location version order from commit
+// events (install order = commit order; the value is the transaction's last
+// write to the location), intersects the feasibility intervals contributed
+// by each read, and reports the minimal offending history fragment when the
+// intersection is empty. Locations never declared via HistoryRecorder::init
+// get an unknown-initial wildcard version so unknown pre-state is never
+// misreported; locations accessed with inconsistent lengths are excluded
+// (counted in `skipped_locations`) rather than guessed at.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/history.hpp"
+
+namespace si::check {
+
+struct Violation {
+  enum class Kind {
+    kMalformed,        ///< structurally invalid event stream
+    kDirtyRead,        ///< read of a value no committed transaction installed
+    kNonSnapshotRead,  ///< reads admit no single snapshot point
+    kReadOwnWrite,     ///< read disagrees with the transaction's own write
+    kLostUpdate,       ///< two concurrent committed writers of one location
+  };
+
+  Kind kind;
+  std::string message;
+  std::vector<Event> fragment;  ///< minimal offending events, seq order
+};
+
+std::string_view to_string(Violation::Kind kind) noexcept;
+
+struct VerifyResult {
+  std::vector<Violation> violations;
+  std::size_t committed = 0;          ///< committed transactions seen
+  std::size_t aborted = 0;            ///< aborted attempts seen
+  std::size_t reads_checked = 0;      ///< external reads constrained
+  std::size_t locations = 0;          ///< distinct locations tracked
+  std::size_t skipped_locations = 0;  ///< excluded (inconsistent length)
+
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Checks `history` (seq-ordered or not; it is sorted defensively) against
+/// the SI axioms above. Never dereferences recorded addresses.
+VerifyResult verify_si(const std::vector<Event>& history);
+
+/// One-paragraph rendering of a result for logs and test failure messages.
+std::string describe(const VerifyResult& result);
+
+}  // namespace si::check

@@ -14,6 +14,7 @@
 #include "baselines/htm_sgl.hpp"
 #include "baselines/p8tm.hpp"
 #include "baselines/silo.hpp"
+#include "check/history.hpp"
 #include "sihtm/sihtm.hpp"
 #include "util/stats.hpp"
 
@@ -31,6 +32,9 @@ struct RuntimeConfig {
   si::p8::HtmConfig htm{};
   int max_threads = 80;
   int retries = 10;
+
+  /// Forwarded to the selected backend's config (null: recording off).
+  si::check::HistoryRecorder* recorder = nullptr;
 };
 
 class Runtime {
@@ -39,19 +43,22 @@ class Runtime {
     switch (cfg.backend) {
       case Backend::kHtm:
         htm_ = std::make_unique<si::baselines::HtmSgl>(si::baselines::HtmSglConfig{
-            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
+            .recorder = cfg.recorder});
         break;
       case Backend::kSiHtm:
         sihtm_ = std::make_unique<si::sihtm::SiHtm>(si::sihtm::SiHtmConfig{
-            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
+            .recorder = cfg.recorder});
         break;
       case Backend::kP8tm:
         p8tm_ = std::make_unique<si::baselines::P8tm>(si::baselines::P8tmConfig{
-            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries});
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
+            .recorder = cfg.recorder});
         break;
       case Backend::kSilo:
-        silo_ = std::make_unique<si::baselines::Silo>(
-            si::baselines::SiloConfig{.max_threads = cfg.max_threads});
+        silo_ = std::make_unique<si::baselines::Silo>(si::baselines::SiloConfig{
+            .max_threads = cfg.max_threads, .recorder = cfg.recorder});
         break;
     }
   }

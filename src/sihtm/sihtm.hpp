@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/history.hpp"
 #include "p8htm/htm.hpp"
 #include "sihtm/state_table.hpp"
 #include "util/backoff.hpp"
@@ -34,6 +35,12 @@ struct SiHtmConfig {
   /// Read-only stragglers run outside any hardware transaction and cannot
   /// be killed; the wait simply continues for them.
   std::uint64_t straggler_kill_spins = 0;
+
+  /// Optional history recording for the SI checker (check/history.hpp).
+  /// Null (the default) disables it; the hooks then cost one branch. On
+  /// real threads the stamp and the access are separate instructions, so
+  /// multi-threaded histories are diagnostic, single-threaded ones exact.
+  si::check::HistoryRecorder* recorder = nullptr;
 };
 
 class SiHtm;
@@ -46,10 +53,11 @@ class SiHtmTx {
 
   template <typename T>
   T read(const T* addr) {
-    if (path_ == Path::kRot) return rt_.load(addr);
     // RO and SGL reads are plain coherence accesses: uninstrumented on real
     // hardware, writer-invalidating in the emulation.
-    return rt_.plain_load(addr);
+    const T out = path_ == Path::kRot ? rt_.load(addr) : rt_.plain_load(addr);
+    if (rec_) rec_->read(rt_.thread_id(), addr, sizeof(T), &out);
+    return out;
   }
 
   template <typename T>
@@ -61,6 +69,7 @@ class SiHtmTx {
     } else {
       rt_.plain_store(addr, value);
     }
+    if (rec_) rec_->write(rt_.thread_id(), addr, sizeof(T), &value);
   }
 
   void read_bytes(void* dst, const void* src, std::size_t n) {
@@ -69,6 +78,7 @@ class SiHtmTx {
     } else {
       rt_.plain_load_bytes(dst, src, n);
     }
+    if (rec_) rec_->read(rt_.thread_id(), src, n, dst);
   }
 
   void write_bytes(void* dst, const void* src, std::size_t n) {
@@ -78,6 +88,7 @@ class SiHtmTx {
     } else {
       rt_.plain_store_bytes(dst, src, n);
     }
+    if (rec_) rec_->write(rt_.thread_id(), dst, n, src);
   }
 
   Path path() const noexcept { return path_; }
@@ -85,10 +96,13 @@ class SiHtmTx {
 
  private:
   friend class SiHtm;
-  SiHtmTx(si::p8::HtmRuntime& rt, Path path) : rt_(rt), path_(path) {}
+  SiHtmTx(si::p8::HtmRuntime& rt, Path path,
+          si::check::HistoryRecorder* rec = nullptr)
+      : rt_(rt), path_(path), rec_(rec) {}
 
   si::p8::HtmRuntime& rt_;
   Path path_;
+  si::check::HistoryRecorder* rec_;
 };
 
 class SiHtm {
@@ -114,8 +128,10 @@ class SiHtm {
 
     if (is_ro) {
       sync_with_gl(tid);  // announces an active timestamp
-      SiHtmTx tx(rt_, SiHtmTx::Path::kReadOnly);
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/true);
+      SiHtmTx tx(rt_, SiHtmTx::Path::kReadOnly, cfg_.recorder);
       body(tx);
+      if (cfg_.recorder) cfg_.recorder->commit(tid);
       // TxEndExt, RO branch: all reads precede the state change (lwsync).
       std::atomic_thread_fence(std::memory_order_release);
       state_.set(tid, kInactive);
@@ -126,14 +142,16 @@ class SiHtm {
 
     for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
       sync_with_gl(tid);
+      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
       rt_.begin(si::p8::TxMode::kRot);
       try {
-        SiHtmTx tx(rt_, SiHtmTx::Path::kRot);
+        SiHtmTx tx(rt_, SiHtmTx::Path::kRot, cfg_.recorder);
         body(tx);
         tx_end(tid, st);
         ++st.commits;
         return;
       } catch (const si::p8::TxAbort& abort) {
+        if (cfg_.recorder) cfg_.recorder->abort(tid);
         st.record_abort(abort.cause);
         state_.set(tid, kInactive);
         if (abort.cause == si::util::AbortCause::kCapacity) {
@@ -154,8 +172,10 @@ class SiHtm {
         backoff.pause();
       }
     }
-    SiHtmTx tx(rt_, SiHtmTx::Path::kSgl);
+    if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
+    SiHtmTx tx(rt_, SiHtmTx::Path::kSgl, cfg_.recorder);
     body(tx);
+    if (cfg_.recorder) cfg_.recorder->commit(tid);
     gl_.unlock();
     ++st.commits;
     ++st.sgl_commits;
@@ -215,6 +235,7 @@ class SiHtm {
       }
     }
     rt_.commit();  // HTMEnd
+    if (cfg_.recorder) cfg_.recorder->commit(tid);
     state_.set(tid, kInactive);
   }
 

@@ -30,6 +30,9 @@ void SimP8tmTx::read_bytes(void* dst, const void* src, std::size_t n) {
   }
   owner_.eng_.access(dst, src, n, /*is_write=*/false, /*tracked=*/false,
                      AbortCause::kConflictRead);
+  if (owner_.rec_) {
+    owner_.rec_->read(owner_.eng_.current_tid(), src, n, dst, owner_.eng_.now());
+  }
 }
 
 void SimP8tmTx::write_bytes(void* dst, const void* src, std::size_t n) {
@@ -39,6 +42,9 @@ void SimP8tmTx::write_bytes(void* dst, const void* src, std::size_t n) {
   for (auto line = first; line <= last; ++line) log.writes.push_back(line);
   owner_.eng_.access(dst, src, n, /*is_write=*/true,
                      /*tracked=*/path_ == Path::kRot, AbortCause::kConflictWrite);
+  if (owner_.rec_) {
+    owner_.rec_->write(owner_.eng_.current_tid(), dst, n, src, owner_.eng_.now());
+  }
 }
 
 // --- SimSilo ------------------------------------------------------------
@@ -87,6 +93,9 @@ void SimSiloTx::read_bytes(void* dst, const void* src, std::size_t n) {
                   static_cast<std::size_t>(hi - lo));
     }
   }
+  // Recorded after the own-write overlay: the event holds the value the
+  // transaction body actually observed.
+  if (owner_.rec_) owner_.rec_->read(eng.current_tid(), src, n, dst, eng.now());
 }
 
 void SimSiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
@@ -97,6 +106,7 @@ void SimSiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
   ctx.buffer.resize(offset + n);
   std::memcpy(ctx.buffer.data() + offset, src, n);
   ctx.writes.push_back({dst, static_cast<std::uint32_t>(n), offset});
+  if (owner_.rec_) owner_.rec_->write(eng.current_tid(), dst, n, src, eng.now());
 }
 
 bool SimSilo::try_commit(Ctx& ctx) {
@@ -136,6 +146,9 @@ bool SimSilo::try_commit(Ctx& ctx) {
   for (const auto& w : ctx.writes) {
     std::memcpy(w.addr, ctx.buffer.data() + w.offset, w.len);
   }
+  // Stamp the commit before the unlock waits below: the write lines are
+  // still locked, so no reader can have observed the installed values yet.
+  if (rec_) rec_->commit(eng_.current_tid(), eng_.now());
   eng_.wait(lat.occ_commit_per_entry * static_cast<double>(ctx.write_lines.size()));
   for (auto line : ctx.write_lines) versions_.unlock(line, true);
   return true;

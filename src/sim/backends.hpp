@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/history.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -118,22 +119,29 @@ class SimSiHtmTx {
     // ROT reads are untracked; RO/SGL reads are plain — identical routing.
     eng_.access(dst, src, n, /*is_write=*/false, /*tracked=*/false,
                 si::util::AbortCause::kConflictRead);
+    // No wait point between the copy completing and the stamp: the recorded
+    // order is the execution order (see check/history.hpp).
+    if (rec_) rec_->read(eng_.current_tid(), src, n, dst, eng_.now());
   }
   void write_bytes(void* dst, const void* src, std::size_t n) {
     eng_.access(dst, src, n, /*is_write=*/true,
                 /*tracked=*/path_ == Path::kRot,
                 si::util::AbortCause::kConflictWrite);
+    if (rec_) rec_->write(eng_.current_tid(), dst, n, src, eng_.now());
   }
 
   Path path() const noexcept { return path_; }
 
   /// Public so alternative runtimes (e.g. the unsafe raw-ROT variant used by
   /// bench/ablation_quiescence) can reuse the handle.
-  SimSiHtmTx(SimEngine& eng, Path path) : eng_(eng), path_(path) {}
+  SimSiHtmTx(SimEngine& eng, Path path,
+             si::check::HistoryRecorder* rec = nullptr)
+      : eng_(eng), path_(path), rec_(rec) {}
 
  private:
   SimEngine& eng_;
   Path path_;
+  si::check::HistoryRecorder* rec_;
 };
 
 class SimSiHtm {
@@ -142,10 +150,12 @@ class SimSiHtm {
   /// alternative": a completed transaction that has safety-waited longer
   /// than the threshold on one straggler kills its hardware transaction.
   explicit SimSiHtm(SimEngine& eng, int retries = 10,
-                    double straggler_kill_after_ns = 0)
+                    double straggler_kill_after_ns = 0,
+                    si::check::HistoryRecorder* rec = nullptr)
       : eng_(eng),
         retries_(retries),
         straggler_kill_after_ns_(straggler_kill_after_ns),
+        rec_(rec),
         state_(eng.threads()),
         backoff_(eng.threads()) {}
 
@@ -157,8 +167,10 @@ class SimSiHtm {
 
     if (is_ro) {
       sync_with_gl(tid);
-      SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kReadOnly);
+      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
+      SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kReadOnly, rec_);
       body(tx);
+      if (rec_) rec_->commit(tid, eng_.now());
       eng_.wait(lat.fence + lat.state_publish);  // lwsync + state update
       state_.set(tid, SimStateTable::kInactive);
       ++st.commits;
@@ -169,17 +181,19 @@ class SimSiHtm {
     for (int attempt = 0; attempt < retries_; ++attempt) {
       sync_with_gl(tid);
       eng_.wait(lat.rot_begin);
+      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
       eng_.tx_begin(SimTxMode::kRot);
       bool committed = true;
       si::util::AbortCause cause = si::util::AbortCause::kNone;
       try {
-        SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kRot);
+        SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kRot, rec_);
         body(tx);
         tx_end(tid, st);
       } catch (const TxAbort& abort) {
         // NOTE: no fiber switch inside the catch — an active exception must
         // be fully handled before yielding, or two fibers interleave the
         // thread's __cxa exception stack in non-LIFO order.
+        if (rec_) rec_->abort(tid, eng_.now());
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -205,8 +219,10 @@ class SimSiHtm {
       eng_.wait_until([&, c] { return state_.get(c) == SimStateTable::kInactive; },
                       lat.quiesce_poll);
     }
-    SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kSgl);
+    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
+    SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kSgl, rec_);
     body(tx);
+    if (rec_) rec_->commit(tid, eng_.now());
     gl_.owner = -1;
     ++st.commits;
     ++st.sgl_commits;
@@ -253,12 +269,16 @@ class SimSiHtm {
 
     eng_.wait(lat.tx_commit);
     eng_.tx_commit();
+    // The writes became the committed state at tx_commit; no wait separates
+    // it from this stamp, so no other fiber can observe them earlier.
+    if (rec_) rec_->commit(tid, eng_.now());
     state_.set(tid, SimStateTable::kInactive);
   }
 
   SimEngine& eng_;
   int retries_;
   double straggler_kill_after_ns_;
+  si::check::HistoryRecorder* rec_;
   SimStateTable state_;
   SimGlobalLock gl_;
   SimBackoff backoff_;
@@ -284,23 +304,29 @@ class SimHtmSglTx {
   }
   void read_bytes(void* dst, const void* src, std::size_t n) {
     eng_.access(dst, src, n, false, hw_, si::util::AbortCause::kConflictRead);
+    if (rec_) rec_->read(eng_.current_tid(), src, n, dst, eng_.now());
   }
   void write_bytes(void* dst, const void* src, std::size_t n) {
     eng_.access(dst, src, n, true, hw_, si::util::AbortCause::kConflictWrite);
+    if (rec_) rec_->write(eng_.current_tid(), dst, n, src, eng_.now());
   }
 
  private:
   friend class SimHtmSgl;
-  SimHtmSglTx(SimEngine& eng, bool hw) : eng_(eng), hw_(hw) {}
+  SimHtmSglTx(SimEngine& eng, bool hw, si::check::HistoryRecorder* rec)
+      : eng_(eng), hw_(hw), rec_(rec) {}
   SimEngine& eng_;
   bool hw_;
+  si::check::HistoryRecorder* rec_;
 };
 
 class SimHtmSgl {
  public:
-  explicit SimHtmSgl(SimEngine& eng, int retries = 10)
+  explicit SimHtmSgl(SimEngine& eng, int retries = 10,
+                     si::check::HistoryRecorder* rec = nullptr)
       : eng_(eng),
         retries_(retries),
+        rec_(rec),
         subscribed_(static_cast<std::size_t>(eng.threads()), 0),
         backoff_(eng.threads()) {}
 
@@ -314,6 +340,7 @@ class SimHtmSgl {
     for (int attempt = 0; attempt < retries_; ++attempt) {
       eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
       eng_.wait(lat.tx_begin);
+      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
       eng_.tx_begin(SimTxMode::kHtm);
       subscribed_[static_cast<std::size_t>(tid)] = 1;
       bool committed = true;
@@ -324,12 +351,14 @@ class SimHtmSgl {
         if (gl_.locked()) {
           eng_.self_abort(si::util::AbortCause::kKilledBySgl);
         }
-        SimHtmSglTx tx(eng_, true);
+        SimHtmSglTx tx(eng_, true, rec_);
         body(tx);
         eng_.wait(lat.tx_commit);
         eng_.tx_commit();
+        if (rec_) rec_->commit(tid, eng_.now());
       } catch (const TxAbort& abort) {
         // No fiber switch inside the catch (see SimSiHtm::execute).
+        if (rec_) rec_->abort(tid, eng_.now());
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -354,8 +383,10 @@ class SimHtmSgl {
         kill_subscriber(c);
       }
     }
-    SimHtmSglTx tx(eng_, false);
+    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
+    SimHtmSglTx tx(eng_, false, rec_);
     body(tx);
+    if (rec_) rec_->commit(tid, eng_.now());
     gl_.owner = -1;
     ++st.commits;
     ++st.sgl_commits;
@@ -368,6 +399,7 @@ class SimHtmSgl {
 
   SimEngine& eng_;
   int retries_;
+  si::check::HistoryRecorder* rec_;
   SimGlobalLock gl_;
   std::vector<unsigned char> subscribed_;
   SimBackoff backoff_;
@@ -405,9 +437,11 @@ class SimP8tmTx {
 
 class SimP8tm {
  public:
-  explicit SimP8tm(SimEngine& eng, int retries = 10)
+  explicit SimP8tm(SimEngine& eng, int retries = 10,
+                   si::check::HistoryRecorder* rec = nullptr)
       : eng_(eng),
         retries_(retries),
+        rec_(rec),
         state_(eng.threads()),
         logs_(static_cast<std::size_t>(eng.threads())),
         backoff_(eng.threads()) {}
@@ -420,8 +454,10 @@ class SimP8tm {
 
     if (is_ro) {
       sync_with_gl(tid);
+      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
       SimP8tmTx tx(*this, SimP8tmTx::Path::kReadOnly);
       body(tx);
+      if (rec_) rec_->commit(tid, eng_.now());
       eng_.wait(lat.fence + lat.state_publish);
       state_.set(tid, SimStateTable::kInactive);
       ++st.commits;
@@ -435,6 +471,7 @@ class SimP8tm {
       log.reads.clear();
       log.writes.clear();
       eng_.wait(lat.rot_begin);
+      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
       eng_.tx_begin(SimTxMode::kRot);
       bool committed = true;
       si::util::AbortCause cause = si::util::AbortCause::kNone;
@@ -444,6 +481,7 @@ class SimP8tm {
         commit_update(tid, st, log);
       } catch (const TxAbort& abort) {
         // No fiber switch inside the catch (see SimSiHtm::execute).
+        if (rec_) rec_->abort(tid, eng_.now());
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -471,9 +509,11 @@ class SimP8tm {
     auto& log = logs_[static_cast<std::size_t>(tid)];
     log.reads.clear();
     log.writes.clear();
+    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
     SimP8tmTx tx(*this, SimP8tmTx::Path::kSgl);
     body(tx);
     for (auto w : log.writes) versions_.bump(w);
+    if (rec_) rec_->commit(tid, eng_.now());
     gl_.owner = -1;
     ++st.commits;
     ++st.sgl_commits;
@@ -541,11 +581,13 @@ class SimP8tm {
     }
     eng_.wait(lat.tx_commit);
     eng_.tx_commit();
+    if (rec_) rec_->commit(tid, eng_.now());
     state_.set(tid, SimStateTable::kInactive);
   }
 
   SimEngine& eng_;
   int retries_;
+  si::check::HistoryRecorder* rec_;
   SimStateTable state_;
   SimGlobalLock gl_;
   SimVersionTable versions_;
@@ -582,8 +624,11 @@ class SimSiloTx {
 
 class SimSilo {
  public:
-  explicit SimSilo(SimEngine& eng)
-      : eng_(eng), ctxs_(static_cast<std::size_t>(eng.threads())), backoff_(eng.threads()) {}
+  explicit SimSilo(SimEngine& eng, si::check::HistoryRecorder* rec = nullptr)
+      : eng_(eng),
+        rec_(rec),
+        ctxs_(static_cast<std::size_t>(eng.threads())),
+        backoff_(eng.threads()) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
@@ -593,6 +638,7 @@ class SimSilo {
     Ctx& ctx = ctxs_[static_cast<std::size_t>(tid)];
     for (int attempt = 0;; ++attempt) {
       ctx.reset();
+      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
       bool ok = true;
       try {
         SimSiloTx tx(*this);
@@ -600,11 +646,15 @@ class SimSilo {
       } catch (const TxAbort&) {
         ok = false;  // mid-flight validation failure
       }
+      // On success the commit event is stamped inside try_commit, right
+      // after the writes install and before the unlock waits — any later
+      // reader of the new values sees a larger seq than the commit.
       if (ok && try_commit(ctx)) {
         ++st.commits;
         if (ctx.writes.empty()) ++st.ro_commits;
         return;
       }
+      if (rec_) rec_->abort(tid, eng_.now());
       st.record_abort(si::util::AbortCause::kConflictRead);
       eng_.wait(backoff_.delay(tid, attempt, eng_.config().lat.abort_penalty));
     }
@@ -640,6 +690,7 @@ class SimSilo {
   bool try_commit(Ctx& ctx);
 
   SimEngine& eng_;
+  si::check::HistoryRecorder* rec_;
   SimVersionTable versions_;
   std::vector<Ctx> ctxs_;
   SimBackoff backoff_;

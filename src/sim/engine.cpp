@@ -11,6 +11,7 @@ using si::util::line_of;
 SimEngine::SimEngine(const SimMachineConfig& cfg, int n_threads)
     : cfg_(cfg),
       n_threads_(n_threads),
+      jitter_rng_(0x5C3EDull ^ (cfg.schedule_seed * 0x9E3779B97F4A7C15ULL)),
       descs_(static_cast<std::size_t>(n_threads)),
       tmcam_used_(static_cast<std::size_t>(cfg.topo.cores), 0),
       lvdir_(static_cast<std::size_t>((cfg.topo.cores + 1) / 2)),
@@ -39,6 +40,12 @@ SimEngine::Event SimEngine::pop_event() {
 
 void SimEngine::wait(double ns) {
   const int tid = current_tid();
+  if (cfg_.schedule_jitter_ns > 0) {
+    // Uniform in [0, jitter): every wait point becomes a seeded coin toss over
+    // which fiber runs next, which is what the schedule fuzzer explores.
+    ns += cfg_.schedule_jitter_ns *
+          (static_cast<double>(jitter_rng_() >> 11) * 0x1.0p-53);
+  }
   schedule(tid, clock_ + ns);
   Fiber::yield();
 }

@@ -21,6 +21,7 @@
 #include "sim/fiber.hpp"
 #include "sim/machine.hpp"
 #include "util/cacheline.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace si::sim {
@@ -202,6 +203,7 @@ class SimEngine {
 
   SimMachineConfig cfg_;
   int n_threads_;
+  si::util::Xoshiro256 jitter_rng_;  ///< schedule fuzzing (machine.hpp)
   double clock_ = 0.0;
   bool stop_ = false;
   std::uint64_t next_seq_ = 0;

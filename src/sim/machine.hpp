@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "p8htm/topology.hpp"
 
@@ -44,6 +45,13 @@ struct SimMachineConfig {
   int lvdir_max_threads = 2;
 
   SimLatencies lat{};
+
+  /// Schedule fuzzing (check/fuzzer.hpp): every SimEngine::wait is stretched
+  /// by a seeded-random amount in [0, schedule_jitter_ns), which perturbs the
+  /// interleaving while keeping each run a pure function of the seed. 0
+  /// disables jitter (bit-exact legacy schedules).
+  double schedule_jitter_ns = 0;
+  std::uint64_t schedule_seed = 0;
 
   /// A POWER9-flavoured machine: same topology, LVDIR enabled.
   static SimMachineConfig power9() {

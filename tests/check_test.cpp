@@ -1,0 +1,316 @@
+// Unit tests for the SI history checker (src/check): hand-written histories
+// that the verifier must accept (valid SI, including SI-HTM's mid-transaction
+// snapshot points and the write skews SI famously admits) and reject (the
+// paper's Fig. 3 dirty-read / torn-snapshot anomalies, lost updates), plus
+// single-threaded round-trips through every real-thread backend.
+#include <cctype>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "check/history.hpp"
+#include "check/verify.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using si::check::Event;
+using si::check::HistoryBuilder;
+using si::check::HistoryRecorder;
+using si::check::VerifyResult;
+using si::check::Violation;
+using si::check::verify_si;
+
+constexpr std::uintptr_t kX = 0x1000;
+constexpr std::uintptr_t kY = 0x2000;
+
+bool has_kind(const VerifyResult& r, Violation::Kind kind) {
+  for (const auto& v : r.violations) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Verify, EmptyHistoryOk) {
+  const VerifyResult r = verify_si({});
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.committed, 0u);
+}
+
+TEST(Verify, SerialUpdatesOk) {
+  HistoryBuilder h;
+  h.init(kX, 0)
+      .begin(0).read(0, kX, 0).write(0, kX, 1).commit(0)
+      .begin(0).read(0, kX, 1).write(0, kX, 2).commit(0);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_EQ(r.committed, 2u);
+  EXPECT_EQ(r.reads_checked, 2u);
+}
+
+// Fig. 2-style valid SI: the reader overlaps the writer but observes the
+// pre-write snapshot of both locations.
+TEST(Verify, ConcurrentReaderSeesOldSnapshotOk) {
+  HistoryBuilder h;
+  h.init(kX, 0).init(kY, 0);
+  h.begin(0).begin(1, /*ro=*/true);
+  h.read(1, kX, 0);
+  h.write(0, kX, 1).write(0, kY, 1);
+  h.read(1, kY, 0);
+  h.commit(0).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+// SI-HTM admits snapshots that land mid-transaction (a transaction beginning
+// during another's quiescence adopts that writer's commit as its snapshot):
+// the reader begins before the writer commits but sees both new values.
+TEST(Verify, SnapshotPointMidTransactionOk) {
+  HistoryBuilder h;
+  h.init(kX, 0).init(kY, 0);
+  h.begin(1, /*ro=*/true);
+  h.begin(0).write(0, kX, 1).write(0, kY, 1).commit(0);
+  h.read(1, kX, 1).read(1, kY, 1).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+// Write skew (disjoint write sets, crossed reads) is allowed under SI —
+// the checker must not be over-strict and demand serializability.
+TEST(Verify, WriteSkewAllowed) {
+  HistoryBuilder h;
+  h.init(kX, 0).init(kY, 0);
+  h.begin(0).begin(1);
+  h.read(0, kX, 0).read(1, kY, 0);
+  h.write(0, kY, 1).write(1, kX, 1);
+  h.commit(0).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+TEST(Verify, DirtyReadOfUncommittedWriteRejected) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 1);
+  h.begin(1).read(1, kX, 1).commit(1);  // reads t0's pending write
+  h.commit(0);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kDirtyRead)) << describe(r);
+}
+
+TEST(Verify, ReadOfAbortedWriteRejected) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 7);
+  h.begin(1).read(1, kX, 7).commit(1);
+  h.abort(0);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kDirtyRead)) << describe(r);
+}
+
+// Aborted writes must stay invisible — but a reader that never saw them is
+// fine even though the abort happened mid-overlap.
+TEST(Verify, AbortedWriterInvisibleOk) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 7);
+  h.begin(1).read(1, kX, 0).commit(1);
+  h.abort(0);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_EQ(r.aborted, 1u);
+}
+
+// The paper's Fig. 3 anomaly: a raw-ROT reader sees x before and y after
+// another transaction's commit — no single snapshot explains both reads.
+TEST(Verify, TornSnapshotRejected) {
+  HistoryBuilder h;
+  h.init(kX, 0).init(kY, 0);
+  h.begin(1, /*ro=*/true).read(1, kX, 0);
+  h.begin(0).write(0, kX, 1).write(0, kY, 1).commit(0);
+  h.read(1, kY, 1).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kNonSnapshotRead)) << describe(r);
+  // The minimal fragment names the two irreconcilable reads.
+  for (const auto& v : r.violations) {
+    if (v.kind == Violation::Kind::kNonSnapshotRead) {
+      EXPECT_GE(v.fragment.size(), 2u);
+    }
+  }
+}
+
+// First-committer-wins: both transactions read x=100, both commit a write of
+// x — the second committer overwrote an update it never saw.
+TEST(Verify, LostUpdateRejected) {
+  HistoryBuilder h;
+  h.init(kX, 100);
+  h.begin(0).begin(1);
+  h.read(0, kX, 100).read(1, kX, 100);
+  h.write(0, kX, 90).commit(0);
+  h.write(1, kX, 110).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kLostUpdate)) << describe(r);
+}
+
+// Same shape but sequential: t1 reads after t0's commit, so its snapshot
+// postdates t0 and the re-write is legal.
+TEST(Verify, SequentialRewriteAllowed) {
+  HistoryBuilder h;
+  h.init(kX, 100);
+  h.begin(0).read(0, kX, 100).write(0, kX, 90).commit(0);
+  h.begin(1).read(1, kX, 90).write(1, kX, 80).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+// A blind writer (no reads) is concurrent with another writer of the same
+// location, but its snapshot may be placed after the first commit — GSI
+// allows it and so does the checker.
+TEST(Verify, ConcurrentBlindWriteAllowed) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).begin(1);
+  h.write(0, kX, 1).commit(0);
+  h.write(1, kX, 2).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+TEST(Verify, ReadOwnWriteMismatchRejected) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 5).read(0, kX, 6).commit(0);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kReadOwnWrite)) << describe(r);
+}
+
+TEST(Verify, ReadOwnWriteMatchOk) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 5).read(0, kX, 5).write(0, kX, 6).commit(0);
+  h.begin(1).read(1, kX, 6).commit(1);  // last write wins at commit
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+TEST(Verify, MalformedNestedBeginRejected) {
+  HistoryBuilder h;
+  h.begin(0).begin(0);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kMalformed));
+}
+
+TEST(Verify, MalformedAccessOutsideTxRejected) {
+  HistoryBuilder h;
+  h.read(0, kX, 0);
+  const VerifyResult r = verify_si(h.events());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(has_kind(r, Violation::Kind::kMalformed));
+}
+
+// A transaction cut off by the end of the run counts as aborted; its writes
+// must not become a committed version.
+TEST(Verify, UnterminatedTransactionTreatedAsAborted) {
+  HistoryBuilder h;
+  h.init(kX, 0);
+  h.begin(0).write(0, kX, 9);  // never ends
+  h.begin(1).read(1, kX, 0).commit(1);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_EQ(r.aborted, 1u);
+  EXPECT_EQ(r.committed, 1u);
+}
+
+// Locations accessed with inconsistent lengths are excluded, not guessed at.
+TEST(Verify, InconsistentLengthSkipped) {
+  HistoryBuilder h;
+  h.init(kX, 0, /*len=*/8);
+  h.begin(0).read(0, kX, 1234, /*len=*/4).commit(0);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_EQ(r.skipped_locations, 1u);
+}
+
+// Unknown initial values (no init event) must never be misjudged.
+TEST(Verify, UnknownInitialValueWildcardOk) {
+  HistoryBuilder h;
+  h.begin(0).read(0, kX, 0xDEAD).commit(0);
+  h.begin(1).write(1, kX, 1).commit(1);
+  h.begin(0).read(0, kX, 1).commit(0);
+  const VerifyResult r = verify_si(h.events());
+  EXPECT_TRUE(r.ok()) << describe(r);
+}
+
+TEST(Verify, DescribeMentionsViolationKind) {
+  HistoryBuilder h;
+  h.init(kX, 100);
+  h.begin(0).begin(1);
+  h.read(0, kX, 100).read(1, kX, 100);
+  h.write(0, kX, 90).commit(0);
+  h.write(1, kX, 110).commit(1);
+  const std::string text = describe(verify_si(h.events()));
+  EXPECT_NE(text.find("lost-update"), std::string::npos) << text;
+}
+
+// --- recorder round-trips through the real-thread backends -----------------
+//
+// Single-threaded, so the recorded order is exact (check/history.hpp): a
+// small counter workload on each backend must verify clean.
+
+class RealBackendRoundTrip
+    : public ::testing::TestWithParam<si::runtime::Backend> {};
+
+TEST_P(RealBackendRoundTrip, SingleThreadedHistoryVerifies) {
+  HistoryRecorder rec(4);
+  si::runtime::RuntimeConfig cfg;
+  cfg.backend = GetParam();
+  cfg.max_threads = 4;
+  cfg.recorder = &rec;
+  si::runtime::Runtime rt(cfg);
+  rt.register_thread(0);
+
+  std::uint64_t counter = 0;
+  std::uint64_t side = 0;
+  rec.init(&counter, sizeof counter, &counter);
+  rec.init(&side, sizeof side, &side);
+
+  for (int i = 0; i < 20; ++i) {
+    rt.execute(false, [&](auto& tx) {
+      const std::uint64_t c = tx.read(&counter);
+      tx.write(&counter, c + 1);
+      tx.write(&side, c);
+    });
+    rt.execute(true, [&](auto& tx) {
+      (void)tx.read(&counter);
+      (void)tx.read(&side);
+    });
+  }
+  EXPECT_EQ(counter, 20u);
+
+  const VerifyResult r = verify_si(rec.merged());
+  EXPECT_TRUE(r.ok()) << describe(r);
+  EXPECT_GE(r.committed, 40u);
+  EXPECT_GT(r.reads_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, RealBackendRoundTrip,
+                         ::testing::Values(si::runtime::Backend::kHtm,
+                                           si::runtime::Backend::kSiHtm,
+                                           si::runtime::Backend::kP8tm,
+                                           si::runtime::Backend::kSilo),
+                         [](const auto& info) {
+                           std::string name(si::runtime::to_string(info.param));
+                           for (char& ch : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
