@@ -1,11 +1,12 @@
 // Ablation: what does the safety wait (quiescence) cost?
 //
-// Compares SI-HTM against an UNSAFE raw-ROT runtime that is identical except
-// that it issues HTMEnd immediately, skipping Algorithm 1's safety wait.
-// The raw-ROT variant admits the Fig. 3 snapshot anomalies (it is NOT a
-// correct SI implementation — it exists only to price the quiescence phase),
-// so the gap between the two curves is the paper's "real performance cost of
-// the quiescence phase" (section 4, last evaluation question).
+// Compares SI-HTM against the UNSAFE shared raw-ROT core (SI-HTM with the
+// safety wait compiled out — protocol/sihtm_core.hpp, SafetyWait=false; here
+// driven through si::sim::SimRawRot). The raw-ROT variant admits the Fig. 3
+// snapshot anomalies (it is NOT a correct SI implementation — it exists only
+// to price the quiescence phase), so the gap between the two curves is the
+// paper's "real performance cost of the quiescence phase" (section 4, last
+// evaluation question).
 //
 // Run on the update-heavy hash-map scenario where the wait hurts most
 // (50% updates, small footprint — cf. Fig. 8's conclusions).
@@ -13,55 +14,6 @@
 #include "hashmap/workload.hpp"
 
 namespace {
-
-/// SI-HTM minus the safety wait. UNSAFE (see file comment).
-class SimRawRot {
- public:
-  explicit SimRawRot(si::sim::SimEngine& eng, int retries = 10)
-      : eng_(eng), retries_(retries), backoff_(eng.threads()) {}
-
-  template <typename Body>
-  void execute(bool is_ro, Body&& body) {
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    const auto& lat = eng_.config().lat;
-
-    if (is_ro) {
-      si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kReadOnly);
-      body(tx);
-      eng_.wait(lat.fence);
-      ++st.commits;
-      ++st.ro_commits;
-      return;
-    }
-    for (int attempt = 0;; ++attempt) {
-      eng_.wait(lat.rot_begin);
-      eng_.tx_begin(si::sim::SimTxMode::kRot);
-      bool committed = true;
-      try {
-        si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kRot);
-        body(tx);
-        eng_.wait(lat.tx_commit);
-        eng_.tx_commit();  // no safety wait: straight HTMEnd
-      } catch (const si::sim::TxAbort& abort) {
-        st.record_abort(abort.cause);
-        committed = false;
-      }
-      if (committed) {
-        ++st.commits;
-        return;
-      }
-      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
-    }
-  }
-
-  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
-
- private:
-  si::sim::SimEngine& eng_;
-  int retries_;
-  si::sim::SimBackoff backoff_;
-};
 
 template <typename Backend>
 si::util::RunStats run_with(const si::hashmap::WorkloadConfig& wcfg, int threads,
@@ -91,7 +43,7 @@ int main(int argc, char** argv) {
     for (int n : sweep.threads) {
       const auto stats =
           with_wait ? run_with<si::sim::SimSiHtm>(wcfg, n, sweep.virtual_ns)
-                    : run_with<SimRawRot>(wcfg, n, sweep.virtual_ns);
+                    : run_with<si::sim::SimRawRot>(wcfg, n, sweep.virtual_ns);
       points.push_back({n, stats});
       si::bench::progress_dot();
     }

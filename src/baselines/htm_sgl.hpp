@@ -1,20 +1,14 @@
-// Plain-HTM baseline: every transaction runs as a regular (read- and
-// write-tracked) hardware transaction with a single-global-lock fall-back,
-// the standard lock-elision scheme the paper calls "HTM" in section 4.
-//
-// Unlike SI-HTM, the SGL is subscribed *early*: each transaction reads the
-// lock word at begin, so a later acquisition of the lock invalidates the
-// subscribed line and kills every in-flight transaction (these show up as
-// the paper's "non-transactional" aborts).
+// Plain-HTM baseline on real threads: the single protocol transcription
+// (protocol/htm_sgl_core.hpp) instantiated over RealSubstrate.
 #pragma once
 
-#include <cassert>
+#include <utility>
 #include <vector>
 
 #include "check/history.hpp"
 #include "p8htm/htm.hpp"
-#include "util/backoff.hpp"
-#include "util/spinlock.hpp"
+#include "protocol/htm_sgl_core.hpp"
+#include "protocol/real_substrate.hpp"
 #include "util/stats.hpp"
 
 namespace si::baselines {
@@ -28,118 +22,35 @@ struct HtmSglConfig {
   si::check::HistoryRecorder* recorder = nullptr;
 };
 
-class HtmSgl;
-
 /// Access handle for one attempt (hardware path or SGL path).
-class HtmSglTx {
- public:
-  template <typename T>
-  T read(const T* addr) {
-    const T out = hw_ ? rt_.load(addr) : rt_.plain_load(addr);
-    if (rec_) rec_->read(rt_.thread_id(), addr, sizeof(T), &out);
-    return out;
-  }
-  template <typename T>
-  void write(T* addr, const T& value) {
-    if (hw_) {
-      rt_.store(addr, value);
-    } else {
-      rt_.plain_store(addr, value);
-    }
-    if (rec_) rec_->write(rt_.thread_id(), addr, sizeof(T), &value);
-  }
-  void read_bytes(void* dst, const void* src, std::size_t n) {
-    if (hw_) {
-      rt_.load_bytes(dst, src, n);
-    } else {
-      rt_.plain_load_bytes(dst, src, n);
-    }
-    if (rec_) rec_->read(rt_.thread_id(), src, n, dst);
-  }
-  void write_bytes(void* dst, const void* src, std::size_t n) {
-    if (hw_) {
-      rt_.store_bytes(dst, src, n);
-    } else {
-      rt_.plain_store_bytes(dst, src, n);
-    }
-    if (rec_) rec_->write(rt_.thread_id(), dst, n, src);
-  }
-
- private:
-  friend class HtmSgl;
-  HtmSglTx(si::p8::HtmRuntime& rt, bool hw,
-           si::check::HistoryRecorder* rec = nullptr)
-      : rt_(rt), hw_(hw), rec_(rec) {}
-  si::p8::HtmRuntime& rt_;
-  bool hw_;
-  si::check::HistoryRecorder* rec_;
-};
+using HtmSglTx = si::protocol::HtmSglCore<si::protocol::RealSubstrate>::Tx;
 
 class HtmSgl {
  public:
   explicit HtmSgl(HtmSglConfig cfg = {})
-      : cfg_(cfg), rt_(cfg.htm), stats_(static_cast<std::size_t>(cfg.max_threads)) {}
+      : cfg_(cfg),
+        sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
+              cfg.recorder}),
+        core_(sub_, {cfg.retries}) {}
 
-  void register_thread(int tid) { rt_.register_thread(tid); }
+  void register_thread(int tid) { sub_.register_thread(tid); }
 
   /// Runs `body` as one serializable transaction. `is_ro` is accepted for
   /// interface parity but ignored: plain HTM has no read-only fast path.
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    (void)is_ro;
-    const int tid = rt_.thread_id();
-    si::util::ThreadStats& st = stats_[static_cast<std::size_t>(tid)];
-
-    for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
-      si::util::Backoff backoff;
-      while (gl_.is_locked()) backoff.pause();  // don't waste an attempt
-      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
-      rt_.begin(si::p8::TxMode::kHtm);
-      try {
-        // Early subscription: track the lock word, then check its value.
-        // The registration happens under the lock line's bucket lock, so it
-        // is ordered against an acquirer's kill sweep — we either get killed
-        // by the sweep or observe the lock as taken here.
-        rt_.subscribe_line(&gl_);
-        if (gl_.is_locked()) {
-          rt_.self_abort(si::util::AbortCause::kKilledBySgl);
-        }
-        HtmSglTx tx(rt_, /*hw=*/true, cfg_.recorder);
-        body(tx);
-        rt_.commit();
-        if (cfg_.recorder) cfg_.recorder->commit(tid);
-        ++st.commits;
-        return;
-      } catch (const si::p8::TxAbort& abort) {
-        if (cfg_.recorder) cfg_.recorder->abort(tid);
-        st.record_abort(abort.cause);
-        if (abort.cause == si::util::AbortCause::kCapacity) {
-          break;  // persistent failure: retrying cannot help, take the SGL
-        }
-      }
-    }
-
-    gl_.lock(static_cast<std::uint32_t>(tid));
-    // Abort every subscribed transaction, as the store to the lock word does
-    // on real hardware.
-    rt_.kill_line_owners(&gl_, si::util::AbortCause::kKilledBySgl);
-    if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
-    HtmSglTx tx(rt_, /*hw=*/false, cfg_.recorder);
-    body(tx);
-    if (cfg_.recorder) cfg_.recorder->commit(tid);
-    gl_.unlock();
-    ++st.commits;
-    ++st.sgl_commits;
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
-  si::p8::HtmRuntime& htm() noexcept { return rt_; }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.thread_stats();
+  }
+  si::p8::HtmRuntime& htm() noexcept { return sub_.htm(); }
 
  private:
   HtmSglConfig cfg_;
-  si::p8::HtmRuntime rt_;
-  si::util::OwnedGlobalLock gl_;
-  std::vector<si::util::ThreadStats> stats_;
+  si::protocol::RealSubstrate sub_;
+  si::protocol::HtmSglCore<si::protocol::RealSubstrate> core_;
 };
 
 }  // namespace si::baselines

@@ -1,5 +1,13 @@
-// P8TM baseline on real threads: the single protocol transcription
-// (protocol/p8tm_core.hpp) instantiated over RealSubstrate.
+// Raw-ROT ablation on real threads: SI-HTM with the safety wait compiled out
+// (protocol/sihtm_core.hpp with SafetyWait=false) over RealSubstrate.
+//
+// UNSAFE by design: update ROTs issue HTMEnd straight after the body and
+// retry forever (no SGL fall-back, so a capacity-overflowing transaction
+// livelocks), and read-only transactions skip the state table entirely —
+// admitting exactly the snapshot anomalies of paper Fig. 3. Exists so
+// bench/ablation_quiescence can price the safety wait and so the
+// fuzzer/checker can demonstrate the anomalies it prevents; never use it as
+// a concurrency control.
 #pragma once
 
 #include <utility>
@@ -7,31 +15,29 @@
 
 #include "check/history.hpp"
 #include "p8htm/htm.hpp"
-#include "protocol/p8tm_core.hpp"
 #include "protocol/real_substrate.hpp"
+#include "protocol/sihtm_core.hpp"
 #include "util/stats.hpp"
 
 namespace si::baselines {
 
-struct P8tmConfig {
+struct RawRotConfig {
   si::p8::HtmConfig htm{};
   int max_threads = 80;
-  int retries = 10;
-  unsigned version_table_bits = 20;
 
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
 };
 
-using P8tmTx = si::protocol::P8tmCore<si::protocol::RealSubstrate>::Tx;
+using RawRotTx = si::protocol::RawRotCore<si::protocol::RealSubstrate>::Tx;
 
-class P8tm {
+class RawRot {
  public:
-  explicit P8tm(P8tmConfig cfg = {})
+  explicit RawRot(RawRotConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
               cfg.recorder}),
-        core_(sub_, {cfg.retries, cfg.version_table_bits}) {}
+        core_(sub_, {}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }
 
@@ -46,9 +52,9 @@ class P8tm {
   si::p8::HtmRuntime& htm() noexcept { return sub_.htm(); }
 
  private:
-  P8tmConfig cfg_;
+  RawRotConfig cfg_;
   si::protocol::RealSubstrate sub_;
-  si::protocol::P8tmCore<si::protocol::RealSubstrate> core_;
+  si::protocol::RawRotCore<si::protocol::RealSubstrate> core_;
 };
 
 }  // namespace si::baselines

@@ -1,30 +1,15 @@
-// Silo baseline (Tu et al., SOSP'13): software optimistic concurrency
-// control for in-memory databases, here at cache-line versioning granularity
-// (the paper disables Silo's record indexing "for a fair comparison", so the
-// comparison is between core concurrency controls).
-//
-// Protocol, faithful to Silo's commit path:
-//  * reads are optimistic — version-sandwich a stable snapshot of each
-//    covered line and log (line, version);
-//  * writes are buffered locally and overlaid on subsequent reads
-//    (read-own-writes);
-//  * commit: lock the write set in canonical (sorted) line order, validate
-//    that every logged read version is unchanged and unlocked (or locked by
-//    us), install the buffered writes, then bump-and-unlock.
-//
-// This backend is pure software: it never enters a hardware transaction, so
-// it bypasses HtmRuntime entirely, exactly as Silo runs on stock hardware.
+// Silo baseline on real threads: the single protocol transcription
+// (protocol/silo_core.hpp) instantiated over RealSubstrate. Silo is pure
+// software and never enters a hardware transaction; it uses the substrate
+// only for thread identity, stats and recording.
 #pragma once
 
-#include <algorithm>
-#include <cassert>
-#include <cstring>
+#include <utility>
 #include <vector>
 
-#include "baselines/version_table.hpp"
 #include "check/history.hpp"
-#include "util/backoff.hpp"
-#include "util/cacheline.hpp"
+#include "protocol/real_substrate.hpp"
+#include "protocol/silo_core.hpp"
 #include "util/stats.hpp"
 
 namespace si::baselines {
@@ -38,234 +23,33 @@ struct SiloConfig {
   si::check::HistoryRecorder* recorder = nullptr;
 };
 
-class Silo;
-
-class SiloTx {
- public:
-  template <typename T>
-  T read(const T* addr) {
-    T out;
-    read_bytes(&out, addr, sizeof(T));
-    return out;
-  }
-
-  template <typename T>
-  void write(T* addr, const T& value) {
-    write_bytes(addr, &value, sizeof(T));
-  }
-
-  void read_bytes(void* dst, const void* src, std::size_t n);
-  void write_bytes(void* dst, const void* src, std::size_t n);
-
- private:
-  friend class Silo;
-  explicit SiloTx(Silo& owner, int tid) : owner_(owner), tid_(tid) {}
-  Silo& owner_;
-  int tid_;
-};
-
-/// Thrown by SiloTx on an unrecoverable optimistic conflict mid-transaction.
-struct SiloAbort {};
+using SiloTx = si::protocol::SiloCore<si::protocol::RealSubstrate>::Tx;
 
 class Silo {
  public:
   explicit Silo(SiloConfig cfg = {})
       : cfg_(cfg),
-        versions_(cfg.version_table_bits),
-        ctxs_(static_cast<std::size_t>(cfg.max_threads)),
-        stats_(static_cast<std::size_t>(cfg.max_threads)) {}
+        sub_({{}, cfg.max_threads, /*straggler_kill_spins=*/0, cfg.recorder}),
+        core_(sub_, {cfg.version_table_bits, cfg.max_read_spins}) {}
 
-  void register_thread(int tid) { tls_tid_ = tid; }
-  int thread_id() const { return tls_tid_; }
+  void register_thread(int tid) { sub_.register_thread(tid); }
+  int thread_id() const { return sub_.tid(); }
 
   /// Runs `body` as one serializable OCC transaction, retrying until commit.
   /// `is_ro` only skips the (empty) write-lock phase; reads still validate.
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    (void)is_ro;
-    const int tid = thread_id();
-    si::util::ThreadStats& st = stats_[static_cast<std::size_t>(tid)];
-    Ctx& ctx = ctxs_[static_cast<std::size_t>(tid)];
-
-    for (;;) {
-      ctx.reset();
-      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
-      try {
-        SiloTx tx(*this, tid);
-        body(tx);
-        if (try_commit(ctx)) {
-          // Stamped after the install in try_commit; on real threads
-          // another thread may read the new values first (see
-          // SiHtmConfig::recorder on multi-threaded accuracy).
-          if (cfg_.recorder) cfg_.recorder->commit(tid);
-          ++st.commits;
-          if (ctx.writes.empty()) ++st.ro_commits;
-          return;
-        }
-      } catch (const SiloAbort&) {
-      }
-      if (cfg_.recorder) cfg_.recorder->abort(tid);
-      st.record_abort(si::util::AbortCause::kConflictRead);
-    }
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.thread_stats();
+  }
 
  private:
-  friend class SiloTx;
-
-  struct ReadRecord {
-    si::util::LineId line;
-    std::uint64_t version;
-  };
-
-  struct WriteRecord {
-    void* addr;
-    std::uint32_t len;
-    std::uint32_t offset;  ///< into Ctx::write_bytes
-  };
-
-  struct alignas(si::util::kLineSize) Ctx {
-    std::vector<ReadRecord> reads;
-    std::vector<WriteRecord> writes;
-    std::vector<unsigned char> buffer;
-    std::vector<si::util::LineId> write_lines;  ///< scratch for commit
-
-    void reset() {
-      reads.clear();
-      writes.clear();
-      buffer.clear();
-      write_lines.clear();
-    }
-  };
-
-  /// Records the first-read version of each line exactly once.
-  void log_read(Ctx& ctx, si::util::LineId line, std::uint64_t version) {
-    for (const auto& r : ctx.reads) {
-      if (r.line == line) return;
-    }
-    ctx.reads.push_back({line, version});
-  }
-
-  bool try_commit(Ctx& ctx) {
-    // Phase 1: lock the write set in canonical order (deadlock freedom).
-    ctx.write_lines.clear();
-    for (const auto& w : ctx.writes) {
-      const auto first = si::util::line_of(w.addr);
-      const auto last = si::util::line_of(static_cast<unsigned char*>(w.addr) + w.len - 1);
-      for (auto line = first; line <= last; ++line) ctx.write_lines.push_back(line);
-    }
-    std::sort(ctx.write_lines.begin(), ctx.write_lines.end());
-    ctx.write_lines.erase(std::unique(ctx.write_lines.begin(), ctx.write_lines.end()),
-                          ctx.write_lines.end());
-    std::size_t locked = 0;
-    for (; locked < ctx.write_lines.size(); ++locked) {
-      if (!versions_.try_lock(ctx.write_lines[locked])) break;
-    }
-    if (locked != ctx.write_lines.size()) {
-      for (std::size_t i = 0; i < locked; ++i) versions_.unlock(ctx.write_lines[i], false);
-      return false;
-    }
-
-    // Phase 2: validate the read set.
-    for (const auto& r : ctx.reads) {
-      const std::uint64_t now = versions_.word_for(r.line).load(std::memory_order_acquire);
-      const bool locked_by_us =
-          VersionTable::is_locked(now) &&
-          std::binary_search(ctx.write_lines.begin(), ctx.write_lines.end(), r.line);
-      const bool changed = (now & ~VersionTable::kLockBit) != r.version;
-      if (changed || (VersionTable::is_locked(now) && !locked_by_us)) {
-        for (auto line : ctx.write_lines) versions_.unlock(line, false);
-        return false;
-      }
-    }
-
-    // Phase 3: install and publish.
-    for (const auto& w : ctx.writes) {
-      std::memcpy(w.addr, ctx.buffer.data() + w.offset, w.len);
-    }
-    for (auto line : ctx.write_lines) versions_.unlock(line, true);
-    return true;
-  }
-
   SiloConfig cfg_;
-  VersionTable versions_;
-  std::vector<Ctx> ctxs_;
-  std::vector<si::util::ThreadStats> stats_;
-  static thread_local int tls_tid_;
+  si::protocol::RealSubstrate sub_;
+  si::protocol::SiloCore<si::protocol::RealSubstrate> core_;
 };
-
-inline thread_local int Silo::tls_tid_ = -1;
-
-inline void SiloTx::read_bytes(void* dst, const void* src, std::size_t n) {
-  auto& ctx = owner_.ctxs_[static_cast<std::size_t>(tid_)];
-  auto& vt = owner_.versions_;
-  const auto first = si::util::line_of(src);
-  const auto last =
-      si::util::line_of(static_cast<const unsigned char*>(src) + (n ? n - 1 : 0));
-
-  // Version-sandwich until a stable snapshot of all covered lines is read.
-  si::util::Backoff backoff;
-  for (int spin = 0;; ++spin) {
-    std::uint64_t pre[16];
-    bool ok = true;
-    assert(last - first < 16 && "single read spans too many lines");
-    for (auto line = first; line <= last; ++line) {
-      const std::uint64_t v = vt.word_for(line).load(std::memory_order_acquire);
-      if (VersionTable::is_locked(v)) {
-        ok = false;
-        break;
-      }
-      pre[line - first] = v;
-    }
-    if (ok) {
-      std::memcpy(dst, src, n);
-      std::atomic_thread_fence(std::memory_order_acquire);
-      for (auto line = first; line <= last; ++line) {
-        if (vt.word_for(line).load(std::memory_order_acquire) != pre[line - first]) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) {
-        for (auto line = first; line <= last; ++line) {
-          owner_.log_read(ctx, line, pre[line - first]);
-        }
-        break;
-      }
-    }
-    if (spin >= owner_.cfg_.max_read_spins) throw SiloAbort{};
-    backoff.pause();
-  }
-
-  // Read-own-writes: overlay buffered writes intersecting [src, src+n).
-  auto* base = static_cast<unsigned char*>(dst);
-  const auto* req_lo = static_cast<const unsigned char*>(src);
-  const auto* req_hi = req_lo + n;
-  for (const auto& w : ctx.writes) {
-    const auto* w_lo = static_cast<const unsigned char*>(w.addr);
-    const auto* w_hi = w_lo + w.len;
-    const auto* lo = std::max(req_lo, w_lo);
-    const auto* hi = std::min(req_hi, w_hi);
-    if (lo < hi) {
-      std::memcpy(base + (lo - req_lo), ctx.buffer.data() + w.offset + (lo - w_lo),
-                  static_cast<std::size_t>(hi - lo));
-    }
-  }
-  if (owner_.cfg_.recorder) {
-    owner_.cfg_.recorder->read(tid_, src, n, dst);
-  }
-}
-
-inline void SiloTx::write_bytes(void* dst, const void* src, std::size_t n) {
-  auto& ctx = owner_.ctxs_[static_cast<std::size_t>(tid_)];
-  const auto offset = static_cast<std::uint32_t>(ctx.buffer.size());
-  ctx.buffer.resize(offset + n);
-  std::memcpy(ctx.buffer.data() + offset, src, n);
-  ctx.writes.push_back({dst, static_cast<std::uint32_t>(n), offset});
-  if (owner_.cfg_.recorder) {
-    owner_.cfg_.recorder->write(tid_, dst, n, src);
-  }
-}
 
 }  // namespace si::baselines

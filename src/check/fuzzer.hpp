@@ -93,67 +93,6 @@ struct FuzzSummary {
   bool ok() const noexcept { return failures == 0; }
 };
 
-/// SI-HTM with the safety wait ablated: update ROTs issue HTMEnd immediately
-/// after the body (mirrors bench/ablation_quiescence.cpp), read-only
-/// transactions skip the state table entirely. NOT a correct SI
-/// implementation — the fuzzer's intentionally-broken mode.
-class SimRawRot {
- public:
-  explicit SimRawRot(si::sim::SimEngine& eng, int retries = 10,
-                     HistoryRecorder* rec = nullptr)
-      : eng_(eng), retries_(retries), rec_(rec), backoff_(eng.threads()) {}
-
-  template <typename Body>
-  void execute(bool is_ro, Body&& body) {
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    const auto& lat = eng_.config().lat;
-
-    if (is_ro) {
-      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
-      si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kReadOnly, rec_);
-      body(tx);
-      if (rec_) rec_->commit(tid, eng_.now());
-      eng_.wait(lat.fence);
-      ++st.commits;
-      ++st.ro_commits;
-      return;
-    }
-    for (int attempt = 0;; ++attempt) {
-      eng_.wait(lat.rot_begin);
-      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-      eng_.tx_begin(si::sim::SimTxMode::kRot);
-      bool committed = true;
-      try {
-        si::sim::SimSiHtmTx tx(eng_, si::sim::SimSiHtmTx::Path::kRot, rec_);
-        body(tx);
-        eng_.wait(lat.tx_commit);
-        eng_.tx_commit();  // no safety wait: straight HTMEnd
-        if (rec_) rec_->commit(tid, eng_.now());
-      } catch (const si::sim::TxAbort& abort) {
-        if (rec_) rec_->abort(tid, eng_.now());
-        st.record_abort(abort.cause);
-        committed = false;
-      }
-      if (committed) {
-        ++st.commits;
-        return;
-      }
-      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
-    }
-  }
-
-  std::vector<si::util::ThreadStats>& thread_stats() {
-    return eng_.thread_stats();
-  }
-
- private:
-  si::sim::SimEngine& eng_;
-  int retries_;
-  HistoryRecorder* rec_;
-  si::sim::SimBackoff backoff_;
-};
-
 /// Ledger + notepad workload (file comment). All cells are one line each and
 /// 8 bytes wide, so every recorded value is verbatim, never hashed, and a
 /// single access can never tear across lines.
@@ -297,7 +236,7 @@ inline ScheduleReport run_schedule(const FuzzConfig& cfg, std::uint64_t seed) {
       break;
     }
     case FuzzBackend::kRawRot: {
-      SimRawRot cc(eng, cfg.retries, &rec);
+      si::sim::SimRawRot cc(eng, cfg.retries, &rec);
       drive(cc);
       break;
     }

@@ -1,0 +1,248 @@
+// SI-HTM — the paper's contribution (section 3), transcribed once.
+//
+// Each update transaction runs as a ROT; before HTMEnd it performs the safety
+// wait of Algorithm 1 (publish `completed`, then wait until every
+// concurrently-active transaction has itself completed), which prevents the
+// dirty-read/snapshot anomalies that raw ROTs admit (Fig. 3) and yields
+// Snapshot Isolation (section 3.4). Read-only transactions run entirely
+// non-transactionally and skip the wait (Algorithm 2); a single global lock
+// with a quiescent acquisition is the fall-back path.
+//
+// The `SafetyWait` policy flag compiles the safety wait (and with it the
+// whole state-array discipline and the SGL fall-back) out, yielding the
+// UNSAFE raw-ROT ablation: update ROTs issue HTMEnd straight after the body
+// and retry forever, read-only transactions skip the state table entirely.
+// That mode exists so bench/ablation_quiescence can price the wait and so
+// the fuzzer/checker can demonstrate the anomalies it prevents — it is NOT a
+// correct SI implementation.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "p8htm/abort.hpp"
+#include "p8htm/topology.hpp"
+#include "protocol/substrate.hpp"
+#include "util/stats.hpp"
+
+namespace si::protocol {
+
+struct SiHtmCoreConfig {
+  int retries = 10;  ///< ROT attempts before the SGL (ignored by raw-ROT)
+};
+
+template <Substrate S, bool SafetyWait = true>
+class SiHtmCore {
+ public:
+  /// Per-attempt handle passed to transaction bodies; routes accesses to the
+  /// path the attempt is running on (ROT / read-only / SGL).
+  class Tx {
+   public:
+    using Path = TxPath;
+
+    template <typename T>
+    T read(const T* addr) {
+      T out;
+      read_bytes(&out, addr, sizeof(T));
+      return out;
+    }
+
+    template <typename T>
+    void write(T* addr, const T& value) {
+      write_bytes(addr, &value, sizeof(T));
+    }
+
+    void read_bytes(void* dst, const void* src, std::size_t n) {
+      // RO and SGL reads are plain coherence accesses: uninstrumented on
+      // real hardware, writer-invalidating in both embodiments.
+      if (path_ == TxPath::kRot) {
+        sub_.tx_read(dst, src, n);
+      } else {
+        sub_.plain_read(dst, src, n);
+      }
+      if (auto* r = sub_.recorder()) r->read(sub_.tid(), src, n, dst, sub_.rec_now());
+    }
+
+    void write_bytes(void* dst, const void* src, std::size_t n) {
+      assert(path_ != TxPath::kReadOnly &&
+             "shared write inside a transaction declared read-only");
+      if (path_ == TxPath::kRot) {
+        sub_.tx_write(dst, src, n);
+      } else {
+        sub_.plain_write(dst, src, n);
+      }
+      if (auto* r = sub_.recorder()) r->write(sub_.tid(), dst, n, src, sub_.rec_now());
+    }
+
+    TxPath path() const noexcept { return path_; }
+    bool is_read_only() const noexcept { return path_ == TxPath::kReadOnly; }
+
+    Tx(S& sub, TxPath path) : sub_(sub), path_(path) {}
+
+   private:
+    S& sub_;
+    TxPath path_;
+  };
+
+  SiHtmCore(S& sub, SiHtmCoreConfig cfg = {}) : sub_(sub), cfg_(cfg) {}
+
+  /// Runs `body(Tx&)` as one SI transaction, retrying/falling back as needed
+  /// until it commits. `is_ro` selects the read-only fast path (the paper
+  /// assumes the programmer or a compiler provides this flag).
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    const int tid = sub_.tid();
+    si::util::ThreadStats& st = sub_.stats(tid);
+
+    if (is_ro) {
+      if constexpr (SafetyWait) sync_with_gl();  // announces an active timestamp
+      rec_begin(tid, /*ro=*/true);
+      Tx tx(sub_, TxPath::kReadOnly);
+      body(tx);
+      rec_commit(tid);
+      if constexpr (SafetyWait) {
+        // TxEndExt, RO branch: all reads precede the state change (lwsync).
+        sub_.release_inactive();
+      } else {
+        sub_.release_fence();  // raw-ROT: no state table to retire from
+      }
+      ++st.commits;
+      ++st.ro_commits;
+      return;
+    }
+
+    for (int attempt = 0; !SafetyWait || attempt < cfg_.retries; ++attempt) {
+      if constexpr (SafetyWait) sync_with_gl();
+      sub_.pre_begin(HwMode::kRot);
+      rec_begin(tid, /*ro=*/false);
+      sub_.hw_begin(HwMode::kRot);
+      bool committed = true;
+      si::util::AbortCause cause = si::util::AbortCause::kNone;
+      try {
+        Tx tx(sub_, TxPath::kRot);
+        body(tx);
+        if constexpr (SafetyWait) {
+          tx_end(tid, st);
+        } else {
+          sub_.hw_commit();  // no safety wait: straight HTMEnd
+          rec_commit(tid);
+        }
+      } catch (const si::p8::TxAbort& abort) {
+        // NOTE: no substrate wait inside the catch — an active exception
+        // must be fully handled before a fiber switch, or two fibers
+        // interleave the thread's __cxa exception stack in non-LIFO order
+        // (DESIGN.md section 5b).
+        rec_abort(tid);
+        st.record_abort(abort.cause);
+        committed = false;
+        cause = abort.cause;
+      }
+      if (committed) {
+        ++st.commits;
+        return;
+      }
+      if constexpr (SafetyWait) {
+        sub_.set_inactive();
+        if (cause == si::util::AbortCause::kCapacity) {
+          break;  // persistent failure: retrying cannot help, take the SGL
+        }
+      }
+      sub_.abort_backoff(attempt);
+    }
+
+    if constexpr (SafetyWait) {
+      // SGL fall-back (Algorithm 2, lines 22-26): announce inactive, take
+      // the lock, then drain every in-flight transaction before touching
+      // data.
+      sub_.set_inactive();
+      sub_.gl_lock();
+      {
+        auto drain = sub_.drain_scope(st);
+        for (int c = 0; c < sub_.n_threads(); ++c) {
+          if (c == tid) continue;
+          drain.reset();
+          while (sub_.state(c) != kStateInactive) drain.poll();
+        }
+      }
+      rec_begin(tid, /*ro=*/false);
+      Tx tx(sub_, TxPath::kSgl);
+      body(tx);
+      rec_commit(tid);
+      sub_.gl_unlock();
+      ++st.commits;
+      ++st.sgl_commits;
+    }
+  }
+
+  /// Exposed for tests: the state-array slot of a thread.
+  std::uint64_t state_of(int tid) const { return sub_.state(tid); }
+
+  S& substrate() noexcept { return sub_; }
+  const SiHtmCoreConfig& core_config() const noexcept { return cfg_; }
+
+ private:
+  /// SyncWithGL (Algorithm 2, lines 1-9): announce an active timestamp, then
+  /// back off while the SGL is held.
+  void sync_with_gl() {
+    for (;;) {
+      sub_.announce(sub_.timestamp());
+      if (!sub_.gl_locked()) return;
+      sub_.set_inactive();
+      auto p = sub_.poller();
+      while (sub_.gl_locked()) p.poll();
+    }
+  }
+
+  /// TxEnd (Algorithm 1, lines 11-24): publish `completed` outside the ROT,
+  /// then wait until every transaction active in our snapshot has completed,
+  /// and only then HTMEnd.
+  void tx_end(int tid, si::util::ThreadStats& st) {
+    sub_.publish_completed();  // throws if a conflict hit us while suspended
+
+    std::uint64_t snapshot[si::p8::kMaxThreads];
+    sub_.snapshot_states(snapshot);
+    {
+      auto ws = sub_.wait_scope(st);
+      for (int c = 0; c < sub_.n_threads(); ++c) {
+        if (c == tid || snapshot[c] <= kStateCompleted) continue;
+        auto guard = sub_.straggler_guard();
+        ws.reset();
+        while (sub_.state(c) == snapshot[c]) {
+          // A read of our write set during the wait kills us here
+          // (Fig. 4A); check_killed turns the flag into a TxAbort.
+          sub_.check_killed();
+          ws.tick();
+          if (guard.armed() && guard.should_kill()) {
+            sub_.kill_tx_of(c, si::util::AbortCause::kKilledAsStraggler);
+            guard.rearm();  // the kill lands at the victim's next poll
+          }
+          ws.poll();
+        }
+      }
+    }
+    sub_.hw_commit();  // HTMEnd
+    rec_commit(tid);
+    sub_.set_inactive();
+  }
+
+  void rec_begin(int tid, bool ro) {
+    if (auto* r = sub_.recorder()) r->begin(tid, ro, sub_.rec_now());
+  }
+  void rec_commit(int tid) {
+    if (auto* r = sub_.recorder()) r->commit(tid, sub_.rec_now());
+  }
+  void rec_abort(int tid) {
+    if (auto* r = sub_.recorder()) r->abort(tid, sub_.rec_now());
+  }
+
+  S& sub_;
+  SiHtmCoreConfig cfg_;
+};
+
+/// The ablated transcription under its own name, so instantiation sites read
+/// as the algorithm they run.
+template <Substrate S>
+using RawRotCore = SiHtmCore<S, /*SafetyWait=*/false>;
+
+}  // namespace si::protocol

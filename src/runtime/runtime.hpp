@@ -1,5 +1,6 @@
-// Unified façade over the four concurrency-control backends the paper
-// evaluates (section 4): HTM, SI-HTM, P8TM and Silo.
+// Unified façade over the concurrency-control backends the paper evaluates
+// (section 4) — HTM, SI-HTM, P8TM, Silo — plus the unsafe raw-ROT ablation
+// (SI-HTM without the safety wait; see baselines/raw_rot.hpp).
 //
 // Workload code written against the generic transaction-handle concept
 // (`read`, `write`, `read_bytes`, `write_bytes`) runs unmodified on any
@@ -13,6 +14,7 @@
 
 #include "baselines/htm_sgl.hpp"
 #include "baselines/p8tm.hpp"
+#include "baselines/raw_rot.hpp"
 #include "baselines/silo.hpp"
 #include "check/history.hpp"
 #include "sihtm/sihtm.hpp"
@@ -20,11 +22,11 @@
 
 namespace si::runtime {
 
-enum class Backend { kHtm, kSiHtm, kP8tm, kSilo };
+enum class Backend { kHtm, kSiHtm, kP8tm, kSilo, kRawRot };
 
 std::string_view to_string(Backend b) noexcept;
 
-/// Parses "htm" / "si-htm" / "p8tm" / "silo" (the names used by bench CLIs).
+/// Parses "htm" / "si-htm" / "p8tm" / "silo" / "raw-rot" (bench CLI names).
 Backend backend_from_string(std::string_view name);
 
 struct RuntimeConfig {
@@ -60,6 +62,10 @@ class Runtime {
         silo_ = std::make_unique<si::baselines::Silo>(si::baselines::SiloConfig{
             .max_threads = cfg.max_threads, .recorder = cfg.recorder});
         break;
+      case Backend::kRawRot:
+        raw_rot_ = std::make_unique<si::baselines::RawRot>(si::baselines::RawRotConfig{
+            .htm = cfg.htm, .max_threads = cfg.max_threads, .recorder = cfg.recorder});
+        break;
     }
   }
 
@@ -70,6 +76,7 @@ class Runtime {
     if (sihtm_) sihtm_->register_thread(tid);
     if (p8tm_) p8tm_->register_thread(tid);
     if (silo_) silo_->register_thread(tid);
+    if (raw_rot_) raw_rot_->register_thread(tid);
   }
 
   /// Runs `body(auto& tx)` as one transaction on the configured backend.
@@ -83,6 +90,8 @@ class Runtime {
       htm_->execute(is_ro, body);
     } else if (p8tm_) {
       p8tm_->execute(is_ro, body);
+    } else if (raw_rot_) {
+      raw_rot_->execute(is_ro, body);
     } else {
       silo_->execute(is_ro, body);
     }
@@ -92,6 +101,7 @@ class Runtime {
     if (sihtm_) return sihtm_->thread_stats();
     if (htm_) return htm_->thread_stats();
     if (p8tm_) return p8tm_->thread_stats();
+    if (raw_rot_) return raw_rot_->thread_stats();
     return silo_->thread_stats();
   }
 
@@ -101,6 +111,7 @@ class Runtime {
   std::unique_ptr<si::sihtm::SiHtm> sihtm_;
   std::unique_ptr<si::baselines::P8tm> p8tm_;
   std::unique_ptr<si::baselines::Silo> silo_;
+  std::unique_ptr<si::baselines::RawRot> raw_rot_;
 };
 
 inline std::string_view to_string(Backend b) noexcept {
@@ -109,6 +120,7 @@ inline std::string_view to_string(Backend b) noexcept {
     case Backend::kSiHtm: return "SI-HTM";
     case Backend::kP8tm: return "P8TM";
     case Backend::kSilo: return "Silo";
+    case Backend::kRawRot: return "raw-ROT";
   }
   return "?";
 }
@@ -118,6 +130,7 @@ inline Backend backend_from_string(std::string_view name) {
   if (name == "si-htm" || name == "sihtm" || name == "SI-HTM") return Backend::kSiHtm;
   if (name == "p8tm" || name == "P8TM") return Backend::kP8tm;
   if (name == "silo" || name == "Silo") return Backend::kSilo;
+  if (name == "raw-rot" || name == "rawrot" || name == "raw-ROT") return Backend::kRawRot;
   throw std::invalid_argument("unknown backend: " + std::string(name));
 }
 

@@ -1,24 +1,18 @@
-// SI-HTM — the paper's contribution (section 3).
-//
-// Each update transaction runs as a ROT; before HTMEnd it performs the safety
-// wait of Algorithm 1 (publish `completed`, then wait until every
-// concurrently-active transaction has itself completed), which prevents the
-// dirty-read/snapshot anomalies that raw ROTs admit (Fig. 3) and yields
-// Snapshot Isolation (section 3.4). Read-only transactions run entirely
-// non-transactionally and skip the wait (Algorithm 2); a single global lock
-// with a quiescent acquisition is the fall-back path.
+// SI-HTM on real threads: the single protocol transcription
+// (protocol/sihtm_core.hpp) instantiated over RealSubstrate. This header is
+// instantiation glue only — every protocol decision lives in the core, every
+// environment decision in the substrate (DESIGN.md section 5).
 #pragma once
 
-#include <cassert>
-#include <memory>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "check/history.hpp"
 #include "p8htm/htm.hpp"
+#include "protocol/real_substrate.hpp"
+#include "protocol/sihtm_core.hpp"
 #include "sihtm/state_table.hpp"
-#include "util/backoff.hpp"
-#include "util/logical_clock.hpp"
-#include "util/spinlock.hpp"
 #include "util/stats.hpp"
 
 namespace si::sihtm {
@@ -32,8 +26,6 @@ struct SiHtmConfig {
   /// alternative", section 6): after this many safety-wait spins on one
   /// straggler, kill its hardware transaction instead of waiting it out.
   /// 0 disables the policy (the paper's evaluated configuration).
-  /// Read-only stragglers run outside any hardware transaction and cannot
-  /// be killed; the wait simply continues for them.
   std::uint64_t straggler_kill_spins = 0;
 
   /// Optional history recording for the SI checker (check/history.hpp).
@@ -43,208 +35,43 @@ struct SiHtmConfig {
   si::check::HistoryRecorder* recorder = nullptr;
 };
 
-class SiHtm;
-
-/// Per-attempt handle passed to transaction bodies; routes accesses to the
-/// path the attempt is running on (ROT / read-only / SGL).
-class SiHtmTx {
- public:
-  enum class Path : unsigned char { kRot, kReadOnly, kSgl };
-
-  template <typename T>
-  T read(const T* addr) {
-    // RO and SGL reads are plain coherence accesses: uninstrumented on real
-    // hardware, writer-invalidating in the emulation.
-    const T out = path_ == Path::kRot ? rt_.load(addr) : rt_.plain_load(addr);
-    if (rec_) rec_->read(rt_.thread_id(), addr, sizeof(T), &out);
-    return out;
-  }
-
-  template <typename T>
-  void write(T* addr, const T& value) {
-    assert(path_ != Path::kReadOnly &&
-           "shared write inside a transaction declared read-only");
-    if (path_ == Path::kRot) {
-      rt_.store(addr, value);
-    } else {
-      rt_.plain_store(addr, value);
-    }
-    if (rec_) rec_->write(rt_.thread_id(), addr, sizeof(T), &value);
-  }
-
-  void read_bytes(void* dst, const void* src, std::size_t n) {
-    if (path_ == Path::kRot) {
-      rt_.load_bytes(dst, src, n);
-    } else {
-      rt_.plain_load_bytes(dst, src, n);
-    }
-    if (rec_) rec_->read(rt_.thread_id(), src, n, dst);
-  }
-
-  void write_bytes(void* dst, const void* src, std::size_t n) {
-    assert(path_ != Path::kReadOnly);
-    if (path_ == Path::kRot) {
-      rt_.store_bytes(dst, src, n);
-    } else {
-      rt_.plain_store_bytes(dst, src, n);
-    }
-    if (rec_) rec_->write(rt_.thread_id(), dst, n, src);
-  }
-
-  Path path() const noexcept { return path_; }
-  bool is_read_only() const noexcept { return path_ == Path::kReadOnly; }
-
- private:
-  friend class SiHtm;
-  SiHtmTx(si::p8::HtmRuntime& rt, Path path,
-          si::check::HistoryRecorder* rec = nullptr)
-      : rt_(rt), path_(path), rec_(rec) {}
-
-  si::p8::HtmRuntime& rt_;
-  Path path_;
-  si::check::HistoryRecorder* rec_;
-};
+/// Per-attempt handle passed to transaction bodies (`path()` reports
+/// ROT / read-only / SGL).
+using SiHtmTx = si::protocol::SiHtmCore<si::protocol::RealSubstrate>::Tx;
 
 class SiHtm {
  public:
   explicit SiHtm(SiHtmConfig cfg = {})
       : cfg_(cfg),
-        rt_(cfg.htm),
-        state_(cfg.max_threads),
-        stats_(static_cast<std::size_t>(cfg.max_threads)) {
-    assert(cfg.max_threads <= si::p8::kMaxThreads);
-  }
+        sub_({cfg.htm, cfg.max_threads, cfg.straggler_kill_spins, cfg.recorder}),
+        core_(sub_, {cfg.retries}) {}
 
   /// Binds the calling thread to slot `tid` of the state array.
-  void register_thread(int tid) { rt_.register_thread(tid); }
+  void register_thread(int tid) { sub_.register_thread(tid); }
 
   /// Runs `body(SiHtmTx&)` as one SI transaction, retrying/falling back as
   /// needed until it commits. `is_ro` selects the read-only fast path (the
   /// paper assumes the programmer or a compiler provides this flag).
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    const int tid = rt_.thread_id();
-    si::util::ThreadStats& st = stats_[static_cast<std::size_t>(tid)];
-
-    if (is_ro) {
-      sync_with_gl(tid);  // announces an active timestamp
-      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/true);
-      SiHtmTx tx(rt_, SiHtmTx::Path::kReadOnly, cfg_.recorder);
-      body(tx);
-      if (cfg_.recorder) cfg_.recorder->commit(tid);
-      // TxEndExt, RO branch: all reads precede the state change (lwsync).
-      std::atomic_thread_fence(std::memory_order_release);
-      state_.set(tid, kInactive);
-      ++st.commits;
-      ++st.ro_commits;
-      return;
-    }
-
-    for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
-      sync_with_gl(tid);
-      if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
-      rt_.begin(si::p8::TxMode::kRot);
-      try {
-        SiHtmTx tx(rt_, SiHtmTx::Path::kRot, cfg_.recorder);
-        body(tx);
-        tx_end(tid, st);
-        ++st.commits;
-        return;
-      } catch (const si::p8::TxAbort& abort) {
-        if (cfg_.recorder) cfg_.recorder->abort(tid);
-        st.record_abort(abort.cause);
-        state_.set(tid, kInactive);
-        if (abort.cause == si::util::AbortCause::kCapacity) {
-          break;  // persistent failure: retrying cannot help, take the SGL
-        }
-      }
-    }
-
-    // SGL fall-back (Algorithm 2, lines 22-26): announce inactive, take the
-    // lock, then drain every in-flight transaction before touching data.
-    state_.set(tid, kInactive);
-    gl_.lock(static_cast<std::uint32_t>(tid));
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid) continue;
-      si::util::Backoff backoff;
-      while (state_.get(c) != kInactive) {
-        ++st.sgl_wait_cycles;
-        backoff.pause();
-      }
-    }
-    if (cfg_.recorder) cfg_.recorder->begin(tid, /*ro=*/false);
-    SiHtmTx tx(rt_, SiHtmTx::Path::kSgl, cfg_.recorder);
-    body(tx);
-    if (cfg_.recorder) cfg_.recorder->commit(tid);
-    gl_.unlock();
-    ++st.commits;
-    ++st.sgl_commits;
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
   /// Aggregated statistics of all threads so far.
-  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.thread_stats();
+  }
 
-  si::p8::HtmRuntime& htm() noexcept { return rt_; }
+  si::p8::HtmRuntime& htm() noexcept { return sub_.htm(); }
   const SiHtmConfig& config() const noexcept { return cfg_; }
 
   /// Exposed for tests: the state-array slot of a thread.
-  std::uint64_t state_of(int tid) const { return state_.get(tid); }
+  std::uint64_t state_of(int tid) const { return sub_.state(tid); }
 
  private:
-  /// SyncWithGL (Algorithm 2, lines 1-9): announce an active timestamp, then
-  /// back off while the SGL is held.
-  void sync_with_gl(int tid) {
-    for (;;) {
-      state_.set(tid, clock_.now());
-      std::atomic_thread_fence(std::memory_order_seq_cst);  // sync()
-      if (!gl_.is_locked()) return;
-      state_.set(tid, kInactive);
-      si::util::Backoff backoff;
-      while (gl_.is_locked()) backoff.pause();
-    }
-  }
-
-  /// TxEnd (Algorithm 1, lines 11-24): publish `completed` outside the ROT,
-  /// then wait until every transaction active in our snapshot has completed,
-  /// and only then HTMEnd.
-  void tx_end(int tid, si::util::ThreadStats& st) {
-    rt_.suspend();
-    state_.set(tid, kCompleted);
-    std::atomic_thread_fence(std::memory_order_seq_cst);  // sync()
-    rt_.resume();  // throws if a conflict hit us while suspended
-
-    std::uint64_t snapshot[si::p8::kMaxThreads];
-    state_.snapshot(snapshot);
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid) continue;
-      if (snapshot[c] > kCompleted) {
-        si::util::Backoff backoff;
-        std::uint64_t spins = 0;
-        while (state_.get(c) == snapshot[c]) {
-          // A read of our write set during the wait kills us here
-          // (Fig. 4A); check_killed turns the flag into a TxAbort.
-          rt_.check_killed();
-          ++st.wait_cycles;
-          if (cfg_.straggler_kill_spins != 0 &&
-              ++spins > cfg_.straggler_kill_spins) {
-            rt_.kill_tx_of(c, si::util::AbortCause::kKilledAsStraggler);
-            spins = 0;  // the kill lands at the victim's next poll; re-arm
-          }
-          backoff.pause();
-        }
-      }
-    }
-    rt_.commit();  // HTMEnd
-    if (cfg_.recorder) cfg_.recorder->commit(tid);
-    state_.set(tid, kInactive);
-  }
-
   SiHtmConfig cfg_;
-  si::p8::HtmRuntime rt_;
-  StateTable state_;
-  si::util::OwnedGlobalLock gl_;
-  si::util::LogicalClock clock_;
-  std::vector<si::util::ThreadStats> stats_;
+  si::protocol::RealSubstrate sub_;
+  si::protocol::SiHtmCore<si::protocol::RealSubstrate> core_;
 };
 
 }  // namespace si::sihtm

@@ -1,148 +1,32 @@
-// Virtual-time implementations of the four concurrency-control protocols the
-// paper evaluates. Each class exposes the same backend concept as the
-// real-thread implementations (`execute(is_ro, body)`, `thread_stats()`), so
-// the templated workloads (hash map, TPC-C) drive them unmodified inside the
-// simulator. The protocol logic transcribes Algorithms 1 & 2 of the paper —
-// the state array encoding, the safety wait, the read-only fast path and the
-// quiescent SGL fall-back — with each step charged its modelled latency.
+// Virtual-time embodiments of the concurrency-control protocols the paper
+// evaluates: the single protocol transcriptions under src/protocol/
+// instantiated over SimSubstrate. Each class exposes the same backend
+// concept as the real-thread wrappers (`execute(is_ro, body)`,
+// `thread_stats()`), so the templated workloads (hash map, TPC-C) drive
+// them unmodified inside the simulator. This header is instantiation glue
+// only — the protocol bodies live in src/protocol/, the latency model in
+// protocol/sim_substrate.hpp (DESIGN.md section 5).
 #pragma once
 
-#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "check/history.hpp"
+#include "protocol/htm_sgl_core.hpp"
+#include "protocol/p8tm_core.hpp"
+#include "protocol/sihtm_core.hpp"
+#include "protocol/silo_core.hpp"
+#include "protocol/sim_substrate.hpp"
 #include "sim/engine.hpp"
-#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace si::sim {
-
-/// Shared state array (Algorithm 1 line 1) — plain data: the simulation is
-/// single-threaded, interleaving happens only at wait points.
-class SimStateTable {
- public:
-  static constexpr std::uint64_t kInactive = 0;
-  static constexpr std::uint64_t kCompleted = 1;
-
-  explicit SimStateTable(int n) : slots_(static_cast<std::size_t>(n), 0) {}
-  std::uint64_t get(int tid) const { return slots_[static_cast<std::size_t>(tid)]; }
-  void set(int tid, std::uint64_t v) { slots_[static_cast<std::size_t>(tid)] = v; }
-  int size() const { return static_cast<int>(slots_.size()); }
-  std::uint64_t next_timestamp() { return ++clock_ + 1; }  // values > 1
-
- private:
-  std::vector<std::uint64_t> slots_;
-  std::uint64_t clock_ = 1;
-};
-
-/// Simulated single global lock.
-struct SimGlobalLock {
-  int owner = -1;
-  bool locked() const { return owner != -1; }
-};
-
-/// Per-line version/lock words for the software CCs in the simulator.
-class SimVersionTable {
- public:
-  std::uint64_t version(si::util::LineId line) const {
-    auto it = words_.find(line);
-    return it == words_.end() ? 0 : it->second.version;
-  }
-  bool locked(si::util::LineId line) const {
-    auto it = words_.find(line);
-    return it != words_.end() && it->second.locked;
-  }
-  bool try_lock(si::util::LineId line) {
-    auto& w = words_[line];
-    if (w.locked) return false;
-    w.locked = true;
-    return true;
-  }
-  void unlock(si::util::LineId line, bool bump) {
-    auto& w = words_[line];
-    w.locked = false;
-    if (bump) w.version += 1;
-  }
-  void bump(si::util::LineId line) { words_[line].version += 1; }
-
- private:
-  struct Word {
-    std::uint64_t version = 0;
-    bool locked = false;
-  };
-  std::unordered_map<si::util::LineId, Word> words_;
-};
-
-
-/// Randomized exponential backoff after an abort. Real hardware breaks
-/// symmetric abort ping-pong with timing noise; the deterministic simulator
-/// must inject (seeded, reproducible) jitter instead, or two lockstep
-/// transactions can kill each other forever.
-class SimBackoff {
- public:
-  explicit SimBackoff(int n_threads) {
-    for (int t = 0; t < n_threads; ++t) rngs_.emplace_back(0xB0FF ^ (t * 2654435761u));
-  }
-  double delay(int tid, int attempt, double base) {
-    const unsigned shift = attempt < 6 ? static_cast<unsigned>(attempt) : 6u;
-    return base + static_cast<double>(
-                      rngs_[static_cast<std::size_t>(tid)].below(
-                          static_cast<std::uint64_t>(base) << shift));
-  }
-
- private:
-  std::vector<si::util::Xoshiro256> rngs_;
-};
 
 // ---------------------------------------------------------------------------
 // SI-HTM
 // ---------------------------------------------------------------------------
 
-class SimSiHtm;
-
-class SimSiHtmTx {
- public:
-  enum class Path : unsigned char { kRot, kReadOnly, kSgl };
-
-  template <typename T>
-  T read(const T* addr) {
-    T out;
-    read_bytes(&out, addr, sizeof(T));
-    return out;
-  }
-  template <typename T>
-  void write(T* addr, const T& v) {
-    write_bytes(addr, &v, sizeof(T));
-  }
-
-  void read_bytes(void* dst, const void* src, std::size_t n) {
-    // ROT reads are untracked; RO/SGL reads are plain — identical routing.
-    eng_.access(dst, src, n, /*is_write=*/false, /*tracked=*/false,
-                si::util::AbortCause::kConflictRead);
-    // No wait point between the copy completing and the stamp: the recorded
-    // order is the execution order (see check/history.hpp).
-    if (rec_) rec_->read(eng_.current_tid(), src, n, dst, eng_.now());
-  }
-  void write_bytes(void* dst, const void* src, std::size_t n) {
-    eng_.access(dst, src, n, /*is_write=*/true,
-                /*tracked=*/path_ == Path::kRot,
-                si::util::AbortCause::kConflictWrite);
-    if (rec_) rec_->write(eng_.current_tid(), dst, n, src, eng_.now());
-  }
-
-  Path path() const noexcept { return path_; }
-
-  /// Public so alternative runtimes (e.g. the unsafe raw-ROT variant used by
-  /// bench/ablation_quiescence) can reuse the handle.
-  SimSiHtmTx(SimEngine& eng, Path path,
-             si::check::HistoryRecorder* rec = nullptr)
-      : eng_(eng), path_(path), rec_(rec) {}
-
- private:
-  SimEngine& eng_;
-  Path path_;
-  si::check::HistoryRecorder* rec_;
-};
+using SimSiHtmTx = si::protocol::SiHtmCore<si::protocol::SimSubstrate>::Tx;
 
 class SimSiHtm {
  public:
@@ -152,548 +36,132 @@ class SimSiHtm {
   explicit SimSiHtm(SimEngine& eng, int retries = 10,
                     double straggler_kill_after_ns = 0,
                     si::check::HistoryRecorder* rec = nullptr)
-      : eng_(eng),
-        retries_(retries),
-        straggler_kill_after_ns_(straggler_kill_after_ns),
-        rec_(rec),
-        state_(eng.threads()),
-        backoff_(eng.threads()) {}
+      : sub_(eng, {straggler_kill_after_ns, rec}), core_(sub_, {retries}) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    const auto& lat = eng_.config().lat;
-
-    if (is_ro) {
-      sync_with_gl(tid);
-      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
-      SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kReadOnly, rec_);
-      body(tx);
-      if (rec_) rec_->commit(tid, eng_.now());
-      eng_.wait(lat.fence + lat.state_publish);  // lwsync + state update
-      state_.set(tid, SimStateTable::kInactive);
-      ++st.commits;
-      ++st.ro_commits;
-      return;
-    }
-
-    for (int attempt = 0; attempt < retries_; ++attempt) {
-      sync_with_gl(tid);
-      eng_.wait(lat.rot_begin);
-      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-      eng_.tx_begin(SimTxMode::kRot);
-      bool committed = true;
-      si::util::AbortCause cause = si::util::AbortCause::kNone;
-      try {
-        SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kRot, rec_);
-        body(tx);
-        tx_end(tid, st);
-      } catch (const TxAbort& abort) {
-        // NOTE: no fiber switch inside the catch — an active exception must
-        // be fully handled before yielding, or two fibers interleave the
-        // thread's __cxa exception stack in non-LIFO order.
-        if (rec_) rec_->abort(tid, eng_.now());
-        st.record_abort(abort.cause);
-        committed = false;
-        cause = abort.cause;
-      }
-      if (committed) {
-        ++st.commits;
-        return;
-      }
-      state_.set(tid, SimStateTable::kInactive);
-      if (cause == si::util::AbortCause::kCapacity) {
-        break;  // persistent failure: take the SGL immediately
-      }
-      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
-    }
-
-    // SGL fall-back: quiescent acquisition.
-    state_.set(tid, SimStateTable::kInactive);
-    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-    gl_.owner = tid;
-    eng_.wait(lat.sgl_acquire);
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid) continue;
-      eng_.wait_until([&, c] { return state_.get(c) == SimStateTable::kInactive; },
-                      lat.quiesce_poll);
-    }
-    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-    SimSiHtmTx tx(eng_, SimSiHtmTx::Path::kSgl, rec_);
-    body(tx);
-    if (rec_) rec_->commit(tid, eng_.now());
-    gl_.owner = -1;
-    ++st.commits;
-    ++st.sgl_commits;
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.engine().thread_stats();
+  }
 
  private:
-  void sync_with_gl(int tid) {
-    const auto& lat = eng_.config().lat;
-    for (;;) {
-      state_.set(tid, state_.next_timestamp());
-      eng_.wait(lat.state_publish + lat.fence);
-      if (!gl_.locked()) return;
-      state_.set(tid, SimStateTable::kInactive);
-      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-    }
-  }
-
-  void tx_end(int tid, si::util::ThreadStats& st) {
-    const auto& lat = eng_.config().lat;
-    eng_.wait(lat.suspend_resume + lat.state_publish + lat.fence);
-    state_.set(tid, SimStateTable::kCompleted);
-    eng_.check_killed();  // conflicts during the suspended window
-
-    std::uint64_t snapshot[si::p8::kMaxThreads];
-    for (int c = 0; c < state_.size(); ++c) snapshot[c] = state_.get(c);
-    eng_.wait(lat.state_scan * state_.size());
-
-    const double wait_started = eng_.now();
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid || snapshot[c] <= SimStateTable::kCompleted) continue;
-      const double straggler_since = eng_.now();
-      while (state_.get(c) == snapshot[c]) {
-        eng_.check_killed();  // a read of our write set kills us here
-        if (straggler_kill_after_ns_ > 0 &&
-            eng_.now() - straggler_since > straggler_kill_after_ns_) {
-          eng_.kill_thread_tx(c, si::util::AbortCause::kKilledAsStraggler);
-        }
-        eng_.wait(lat.quiesce_poll);
-      }
-    }
-    st.wait_cycles += static_cast<std::uint64_t>(eng_.now() - wait_started);
-
-    eng_.wait(lat.tx_commit);
-    eng_.tx_commit();
-    // The writes became the committed state at tx_commit; no wait separates
-    // it from this stamp, so no other fiber can observe them earlier.
-    if (rec_) rec_->commit(tid, eng_.now());
-    state_.set(tid, SimStateTable::kInactive);
-  }
-
-  SimEngine& eng_;
-  int retries_;
-  double straggler_kill_after_ns_;
-  si::check::HistoryRecorder* rec_;
-  SimStateTable state_;
-  SimGlobalLock gl_;
-  SimBackoff backoff_;
+  si::protocol::SimSubstrate sub_;
+  si::protocol::SiHtmCore<si::protocol::SimSubstrate> core_;
 };
 
 // ---------------------------------------------------------------------------
 // Plain HTM + early-subscribed SGL
 // ---------------------------------------------------------------------------
 
-class SimHtmSgl;
-
-class SimHtmSglTx {
- public:
-  template <typename T>
-  T read(const T* addr) {
-    T out;
-    read_bytes(&out, addr, sizeof(T));
-    return out;
-  }
-  template <typename T>
-  void write(T* addr, const T& v) {
-    write_bytes(addr, &v, sizeof(T));
-  }
-  void read_bytes(void* dst, const void* src, std::size_t n) {
-    eng_.access(dst, src, n, false, hw_, si::util::AbortCause::kConflictRead);
-    if (rec_) rec_->read(eng_.current_tid(), src, n, dst, eng_.now());
-  }
-  void write_bytes(void* dst, const void* src, std::size_t n) {
-    eng_.access(dst, src, n, true, hw_, si::util::AbortCause::kConflictWrite);
-    if (rec_) rec_->write(eng_.current_tid(), dst, n, src, eng_.now());
-  }
-
- private:
-  friend class SimHtmSgl;
-  SimHtmSglTx(SimEngine& eng, bool hw, si::check::HistoryRecorder* rec)
-      : eng_(eng), hw_(hw), rec_(rec) {}
-  SimEngine& eng_;
-  bool hw_;
-  si::check::HistoryRecorder* rec_;
-};
+using SimHtmSglTx = si::protocol::HtmSglCore<si::protocol::SimSubstrate>::Tx;
 
 class SimHtmSgl {
  public:
   explicit SimHtmSgl(SimEngine& eng, int retries = 10,
                      si::check::HistoryRecorder* rec = nullptr)
-      : eng_(eng),
-        retries_(retries),
-        rec_(rec),
-        subscribed_(static_cast<std::size_t>(eng.threads()), 0),
-        backoff_(eng.threads()) {}
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+        core_(sub_, {retries}) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    (void)is_ro;  // plain HTM has no read-only fast path
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    const auto& lat = eng_.config().lat;
-
-    for (int attempt = 0; attempt < retries_; ++attempt) {
-      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-      eng_.wait(lat.tx_begin);
-      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-      eng_.tx_begin(SimTxMode::kHtm);
-      subscribed_[static_cast<std::size_t>(tid)] = 1;
-      bool committed = true;
-      si::util::AbortCause cause = si::util::AbortCause::kNone;
-      try {
-        // Early subscription: the lock word enters the read set — modelled
-        // by the subscribed_ flag; acquisition sweeps it below.
-        if (gl_.locked()) {
-          eng_.self_abort(si::util::AbortCause::kKilledBySgl);
-        }
-        SimHtmSglTx tx(eng_, true, rec_);
-        body(tx);
-        eng_.wait(lat.tx_commit);
-        eng_.tx_commit();
-        if (rec_) rec_->commit(tid, eng_.now());
-      } catch (const TxAbort& abort) {
-        // No fiber switch inside the catch (see SimSiHtm::execute).
-        if (rec_) rec_->abort(tid, eng_.now());
-        st.record_abort(abort.cause);
-        committed = false;
-        cause = abort.cause;
-      }
-      subscribed_[static_cast<std::size_t>(tid)] = 0;
-      if (committed) {
-        ++st.commits;
-        return;
-      }
-      if (cause == si::util::AbortCause::kCapacity) {
-        break;  // persistent failure: take the SGL immediately
-      }
-      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
-    }
-
-    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-    gl_.owner = tid;
-    eng_.wait(lat.sgl_acquire);
-    // The store to the lock word invalidates every subscriber.
-    for (int c = 0; c < eng_.threads(); ++c) {
-      if (c != tid && subscribed_[static_cast<std::size_t>(c)] != 0) {
-        kill_subscriber(c);
-      }
-    }
-    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-    SimHtmSglTx tx(eng_, false, rec_);
-    body(tx);
-    if (rec_) rec_->commit(tid, eng_.now());
-    gl_.owner = -1;
-    ++st.commits;
-    ++st.sgl_commits;
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.engine().thread_stats();
+  }
 
  private:
-  void kill_subscriber(int tid);
-
-  SimEngine& eng_;
-  int retries_;
-  si::check::HistoryRecorder* rec_;
-  SimGlobalLock gl_;
-  std::vector<unsigned char> subscribed_;
-  SimBackoff backoff_;
+  si::protocol::SimSubstrate sub_;
+  si::protocol::HtmSglCore<si::protocol::SimSubstrate> core_;
 };
 
 // ---------------------------------------------------------------------------
 // P8TM: ROT + software read tracking + quiescence + validation
 // ---------------------------------------------------------------------------
 
-class SimP8tm;
-
-class SimP8tmTx {
- public:
-  enum class Path : unsigned char { kRot, kReadOnly, kSgl };
-
-  template <typename T>
-  T read(const T* addr) {
-    T out;
-    read_bytes(&out, addr, sizeof(T));
-    return out;
-  }
-  template <typename T>
-  void write(T* addr, const T& v) {
-    write_bytes(addr, &v, sizeof(T));
-  }
-  void read_bytes(void* dst, const void* src, std::size_t n);
-  void write_bytes(void* dst, const void* src, std::size_t n);
-
- private:
-  friend class SimP8tm;
-  SimP8tmTx(SimP8tm& owner, Path path) : owner_(owner), path_(path) {}
-  SimP8tm& owner_;
-  Path path_;
-};
+using SimP8tmTx = si::protocol::P8tmCore<si::protocol::SimSubstrate>::Tx;
 
 class SimP8tm {
  public:
   explicit SimP8tm(SimEngine& eng, int retries = 10,
                    si::check::HistoryRecorder* rec = nullptr)
-      : eng_(eng),
-        retries_(retries),
-        rec_(rec),
-        state_(eng.threads()),
-        logs_(static_cast<std::size_t>(eng.threads())),
-        backoff_(eng.threads()) {}
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+        core_(sub_, {retries, /*version_table_bits=*/20}) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    const auto& lat = eng_.config().lat;
-
-    if (is_ro) {
-      sync_with_gl(tid);
-      if (rec_) rec_->begin(tid, /*ro=*/true, eng_.now());
-      SimP8tmTx tx(*this, SimP8tmTx::Path::kReadOnly);
-      body(tx);
-      if (rec_) rec_->commit(tid, eng_.now());
-      eng_.wait(lat.fence + lat.state_publish);
-      state_.set(tid, SimStateTable::kInactive);
-      ++st.commits;
-      ++st.ro_commits;
-      return;
-    }
-
-    for (int attempt = 0; attempt < retries_; ++attempt) {
-      sync_with_gl(tid);
-      auto& log = logs_[static_cast<std::size_t>(tid)];
-      log.reads.clear();
-      log.writes.clear();
-      eng_.wait(lat.rot_begin);
-      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-      eng_.tx_begin(SimTxMode::kRot);
-      bool committed = true;
-      si::util::AbortCause cause = si::util::AbortCause::kNone;
-      try {
-        SimP8tmTx tx(*this, SimP8tmTx::Path::kRot);
-        body(tx);
-        commit_update(tid, st, log);
-      } catch (const TxAbort& abort) {
-        // No fiber switch inside the catch (see SimSiHtm::execute).
-        if (rec_) rec_->abort(tid, eng_.now());
-        st.record_abort(abort.cause);
-        committed = false;
-        cause = abort.cause;
-      }
-      if (committed) {
-        ++st.commits;
-        return;
-      }
-      state_.set(tid, SimStateTable::kInactive);
-      if (cause == si::util::AbortCause::kCapacity) {
-        break;  // persistent failure: take the SGL immediately
-      }
-      eng_.wait(backoff_.delay(tid, attempt, lat.abort_penalty));
-    }
-
-    state_.set(tid, SimStateTable::kInactive);
-    eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-    gl_.owner = tid;
-    eng_.wait(lat.sgl_acquire);
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid) continue;
-      eng_.wait_until([&, c] { return state_.get(c) == SimStateTable::kInactive; },
-                      lat.quiesce_poll);
-    }
-    auto& log = logs_[static_cast<std::size_t>(tid)];
-    log.reads.clear();
-    log.writes.clear();
-    if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-    SimP8tmTx tx(*this, SimP8tmTx::Path::kSgl);
-    body(tx);
-    for (auto w : log.writes) versions_.bump(w);
-    if (rec_) rec_->commit(tid, eng_.now());
-    gl_.owner = -1;
-    ++st.commits;
-    ++st.sgl_commits;
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.engine().thread_stats();
+  }
 
  private:
-  friend class SimP8tmTx;
-
-  struct ReadRecord {
-    si::util::LineId line;
-    std::uint64_t version;
-  };
-  struct Log {
-    std::vector<ReadRecord> reads;
-    std::vector<si::util::LineId> writes;
-  };
-
-  void sync_with_gl(int tid) {
-    const auto& lat = eng_.config().lat;
-    for (;;) {
-      state_.set(tid, state_.next_timestamp());
-      eng_.wait(lat.state_publish + lat.fence);
-      if (!gl_.locked()) return;
-      state_.set(tid, SimStateTable::kInactive);
-      eng_.wait_until([&] { return !gl_.locked(); }, lat.quiesce_poll);
-    }
-  }
-
-  void commit_update(int tid, si::util::ThreadStats& st, Log& log) {
-    const auto& lat = eng_.config().lat;
-    eng_.wait(lat.suspend_resume + lat.state_publish + lat.fence);
-    state_.set(tid, SimStateTable::kCompleted);
-    eng_.check_killed();
-
-    std::uint64_t snapshot[si::p8::kMaxThreads];
-    for (int c = 0; c < state_.size(); ++c) snapshot[c] = state_.get(c);
-    eng_.wait(lat.state_scan * state_.size());
-
-    const double wait_started = eng_.now();
-    for (int c = 0; c < state_.size(); ++c) {
-      if (c == tid || snapshot[c] <= SimStateTable::kCompleted) continue;
-      while (state_.get(c) == snapshot[c]) {
-        eng_.check_killed();
-        eng_.wait(lat.quiesce_poll);
-      }
-    }
-    st.wait_cycles += static_cast<std::uint64_t>(eng_.now() - wait_started);
-
-    // Publish-then-validate (same rationale as the real backend).
-    for (auto w : log.writes) versions_.bump(w);
-    eng_.wait(lat.occ_commit_per_entry * static_cast<double>(log.reads.size()));
-    for (const auto& r : log.reads) {
-      bool own = false;
-      for (auto w : log.writes) {
-        if (w == r.line) {
-          own = true;
-          break;
-        }
-      }
-      if (!own && versions_.version(r.line) != r.version) {
-        eng_.self_abort(si::util::AbortCause::kExplicit);
-      }
-    }
-    eng_.wait(lat.tx_commit);
-    eng_.tx_commit();
-    if (rec_) rec_->commit(tid, eng_.now());
-    state_.set(tid, SimStateTable::kInactive);
-  }
-
-  SimEngine& eng_;
-  int retries_;
-  si::check::HistoryRecorder* rec_;
-  SimStateTable state_;
-  SimGlobalLock gl_;
-  SimVersionTable versions_;
-  std::vector<Log> logs_;
-  SimBackoff backoff_;
+  si::protocol::SimSubstrate sub_;
+  si::protocol::P8tmCore<si::protocol::SimSubstrate> core_;
 };
 
 // ---------------------------------------------------------------------------
 // Silo (OCC)
 // ---------------------------------------------------------------------------
 
-class SimSilo;
-
-class SimSiloTx {
- public:
-  template <typename T>
-  T read(const T* addr) {
-    T out;
-    read_bytes(&out, addr, sizeof(T));
-    return out;
-  }
-  template <typename T>
-  void write(T* addr, const T& v) {
-    write_bytes(addr, &v, sizeof(T));
-  }
-  void read_bytes(void* dst, const void* src, std::size_t n);
-  void write_bytes(void* dst, const void* src, std::size_t n);
-
- private:
-  friend class SimSilo;
-  explicit SimSiloTx(SimSilo& owner) : owner_(owner) {}
-  SimSilo& owner_;
-};
+using SimSiloTx = si::protocol::SiloCore<si::protocol::SimSubstrate>::Tx;
 
 class SimSilo {
  public:
   explicit SimSilo(SimEngine& eng, si::check::HistoryRecorder* rec = nullptr)
-      : eng_(eng),
-        rec_(rec),
-        ctxs_(static_cast<std::size_t>(eng.threads())),
-        backoff_(eng.threads()) {}
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+        // 64-spin read bound: in virtual time each spin costs a full
+        // quiesce_poll, so the old sim bound is kept rather than the
+        // real-thread default.
+        core_(sub_, {/*version_table_bits=*/20, /*max_read_spins=*/64}) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
-    (void)is_ro;
-    const int tid = eng_.current_tid();
-    auto& st = eng_.stats(tid);
-    Ctx& ctx = ctxs_[static_cast<std::size_t>(tid)];
-    for (int attempt = 0;; ++attempt) {
-      ctx.reset();
-      if (rec_) rec_->begin(tid, /*ro=*/false, eng_.now());
-      bool ok = true;
-      try {
-        SimSiloTx tx(*this);
-        body(tx);
-      } catch (const TxAbort&) {
-        ok = false;  // mid-flight validation failure
-      }
-      // On success the commit event is stamped inside try_commit, right
-      // after the writes install and before the unlock waits — any later
-      // reader of the new values sees a larger seq than the commit.
-      if (ok && try_commit(ctx)) {
-        ++st.commits;
-        if (ctx.writes.empty()) ++st.ro_commits;
-        return;
-      }
-      if (rec_) rec_->abort(tid, eng_.now());
-      st.record_abort(si::util::AbortCause::kConflictRead);
-      eng_.wait(backoff_.delay(tid, attempt, eng_.config().lat.abort_penalty));
-    }
+    core_.execute(is_ro, std::forward<Body>(body));
   }
 
-  std::vector<si::util::ThreadStats>& thread_stats() { return eng_.thread_stats(); }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.engine().thread_stats();
+  }
 
  private:
-  friend class SimSiloTx;
+  si::protocol::SimSubstrate sub_;
+  si::protocol::SiloCore<si::protocol::SimSubstrate> core_;
+};
 
-  struct ReadRecord {
-    si::util::LineId line;
-    std::uint64_t version;
-  };
-  struct WriteRecord {
-    void* addr;
-    std::uint32_t len;
-    std::uint32_t offset;
-  };
-  struct Ctx {
-    std::vector<ReadRecord> reads;
-    std::vector<WriteRecord> writes;
-    std::vector<unsigned char> buffer;
-    std::vector<si::util::LineId> write_lines;
-    void reset() {
-      reads.clear();
-      writes.clear();
-      buffer.clear();
-      write_lines.clear();
-    }
-  };
+// ---------------------------------------------------------------------------
+// Raw-ROT ablation (UNSAFE; see baselines/raw_rot.hpp)
+// ---------------------------------------------------------------------------
 
-  bool try_commit(Ctx& ctx);
+using SimRawRotTx = si::protocol::RawRotCore<si::protocol::SimSubstrate>::Tx;
 
-  SimEngine& eng_;
-  si::check::HistoryRecorder* rec_;
-  SimVersionTable versions_;
-  std::vector<Ctx> ctxs_;
-  SimBackoff backoff_;
+class SimRawRot {
+ public:
+  /// `retries` is accepted for signature parity with the other backends but
+  /// ignored: raw-ROT has no SGL fall-back and retries forever.
+  explicit SimRawRot(SimEngine& eng, int retries = 10,
+                     si::check::HistoryRecorder* rec = nullptr)
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+        core_(sub_, {retries}) {}
+
+  template <typename Body>
+  void execute(bool is_ro, Body&& body) {
+    core_.execute(is_ro, std::forward<Body>(body));
+  }
+
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    return sub_.engine().thread_stats();
+  }
+
+ private:
+  si::protocol::SimSubstrate sub_;
+  si::protocol::RawRotCore<si::protocol::SimSubstrate> core_;
 };
 
 }  // namespace si::sim

@@ -7,8 +7,11 @@
 // core back to the scheduler.
 #pragma once
 
+#include <cstdint>
 #include <thread>
+#include <vector>
 
+#include "util/rng.hpp"
 #include "util/spinlock.hpp"
 
 namespace si::util {
@@ -28,6 +31,33 @@ class Backoff {
  private:
   static constexpr int kPauseSpins = 64;
   int spins_ = 0;
+};
+
+/// Randomized exponential backoff after an abort, in caller-defined time
+/// units. Real hardware breaks symmetric abort ping-pong with timing noise;
+/// a deterministic environment (the virtual-time simulator) must inject
+/// seeded, reproducible jitter instead, or two lockstep transactions can
+/// kill each other forever. Per-thread RNG streams keep the delays
+/// independent of other threads' abort counts.
+class JitterBackoff {
+ public:
+  explicit JitterBackoff(int n_threads) {
+    for (int t = 0; t < n_threads; ++t) {
+      rngs_.emplace_back(0xB0FF ^ (t * 2654435761u));
+    }
+  }
+
+  /// Delay for `tid`'s `attempt`-th consecutive retry: `base` plus a random
+  /// term growing exponentially (capped at 64x) with the attempt count.
+  double delay(int tid, int attempt, double base) {
+    const unsigned shift = attempt < 6 ? static_cast<unsigned>(attempt) : 6u;
+    return base + static_cast<double>(
+                      rngs_[static_cast<std::size_t>(tid)].below(
+                          static_cast<std::uint64_t>(base) << shift));
+  }
+
+ private:
+  std::vector<Xoshiro256> rngs_;
 };
 
 }  // namespace si::util
