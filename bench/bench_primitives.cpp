@@ -1,11 +1,17 @@
 // Google-benchmark microbenches of the library's primitives: emulated HTM
 // access paths, SI-HTM execute overhead per path, Silo OCC, the conflict
 // table, the PRNG, and the discrete-event engine's event throughput.
+// Beyond the stock google-benchmark flags, the binary accepts:
+//   -quick        short measuring window (smoke runs, CI perf-smoke)
+//   -json <file>  write an si-bench-v1 result file (scripts/bench_to_csv.py)
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "baselines/silo.hpp"
+#include "bench/common.hpp"
 #include "p8htm/htm.hpp"
 #include "sihtm/sihtm.hpp"
 #include "sim/backends.hpp"
@@ -18,6 +24,20 @@ namespace {
 struct alignas(si::util::kLineSize) Cell {
   std::uint64_t v = 0;
 };
+
+/// Publishes the run's owned-line fast-path counters (delta over the timed
+/// region) as user counters, `fast_path_hit_rate` being the headline one.
+void report_fast_path(benchmark::State& state, const si::p8::HtmRuntime& rt,
+                      const si::util::FastPathStats& before) {
+  si::util::FastPathStats delta = rt.fast_path_stats(0);
+  delta.hits -= before.hits;
+  delta.misses -= before.misses;
+  delta.lock_acquisitions -= before.lock_acquisitions;
+  state.counters["fast_path_hit_rate"] = delta.hit_rate();
+  state.counters["lock_acqs_per_iter"] = benchmark::Counter(
+      static_cast<double>(delta.lock_acquisitions),
+      benchmark::Counter::kAvgIterations);
+}
 
 void BM_Xoshiro(benchmark::State& state) {
   si::util::Xoshiro256 rng(1);
@@ -70,6 +90,81 @@ void BM_HtmTrackedLoad(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_HtmTrackedLoad);
+
+// Write-repeat: a ROT that keeps writing the same few lines. After the first
+// touch per line every store hits a line the transaction already owns, so
+// this isolates the owned-line fast path (ownership-cache hit → no bucket
+// lock) against the conflict-resolution slow path.
+void BM_HtmWriteRepeat(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  constexpr std::size_t kLines = 4, kRepeats = 64;
+  std::vector<Cell> cells(kLines);
+  const auto fp_before = rt.fast_path_stats(0);
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kRot);
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      for (std::size_t i = 0; i < kLines; ++i) {
+        rt.store(&cells[i].v, static_cast<std::uint64_t>(r));
+      }
+    }
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLines * kRepeats));
+  report_fast_path(state, rt, fp_before);
+}
+BENCHMARK(BM_HtmWriteRepeat);
+
+// Read-mostly: an HTM transaction re-reading a tracked working set with a few
+// writes mixed in. Repeat tracked reads hit lines already registered in the
+// read set, so this isolates the reader-role side of the ownership cache.
+void BM_HtmReadMostly(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  constexpr std::size_t kLines = 16, kRepeats = 16;
+  std::vector<Cell> cells(kLines);
+  const auto fp_before = rt.fast_path_stats(0);
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kHtm);
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      for (std::size_t i = 0; i < kLines; ++i) sum += rt.load(&cells[i].v);
+    }
+    for (std::size_t i = 0; i < kLines; i += 2) rt.store(&cells[i].v, sum);
+    benchmark::DoNotOptimize(sum);
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLines * kRepeats));
+  report_fast_path(state, rt, fp_before);
+}
+BENCHMARK(BM_HtmReadMostly);
+
+// ROT read-after-write: untracked reads that land on lines this transaction
+// write-owns (the Fig. 2B pattern, minus the conflict). Exercises the
+// write-owner lookup from the untracked-read path.
+void BM_HtmRotReadOwnWrite(benchmark::State& state) {
+  si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
+  rt.register_thread(0);
+  constexpr std::size_t kLines = 8, kRepeats = 32;
+  std::vector<Cell> cells(kLines);
+  const auto fp_before = rt.fast_path_stats(0);
+  for (auto _ : state) {
+    rt.begin(si::p8::TxMode::kRot);
+    for (std::size_t i = 0; i < kLines; ++i) rt.store(&cells[i].v, std::uint64_t{1});
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      for (std::size_t i = 0; i < kLines; ++i) sum += rt.load(&cells[i].v);
+    }
+    benchmark::DoNotOptimize(sum);
+    rt.commit();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kLines * kRepeats));
+  report_fast_path(state, rt, fp_before);
+}
+BENCHMARK(BM_HtmRotReadOwnWrite);
 
 void BM_PlainLoad(benchmark::State& state) {
   si::p8::HtmRuntime rt{si::p8::HtmConfig{}};
@@ -157,6 +252,71 @@ void BM_SimEngineEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_SimEngineEvents)->Unit(benchmark::kMillisecond);
 
+/// ConsoleReporter that additionally keeps every per-iteration run so the
+/// main can emit them as si-bench-v1 records.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type == Run::RT_Iteration && !r.error_occurred) {
+        runs.push_back(r);
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Run> runs;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the harness's own flags (-quick, -json <file>); everything else
+  // goes through to google-benchmark untouched.
+  std::string json_path;
+  bool quick = false;
+  std::vector<char*> bm_args;
+  bm_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "-quick" || a == "--quick") {
+      quick = true;
+    } else if ((a == "-json" || a == "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      bm_args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.05";
+  if (quick) bm_args.push_back(min_time.data());
+
+  int bm_argc = static_cast<int>(bm_args.size());
+  benchmark::Initialize(&bm_argc, bm_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bm_argc, bm_args.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!json_path.empty()) {
+    si::bench::JsonSink sink(json_path, "bench_primitives");
+    for (const auto& run : reporter.runs) {
+      si::bench::BenchRecord rec;
+      rec.system = "primitives";
+      rec.point = run.benchmark_name();
+      rec.threads = static_cast<int>(run.threads);
+      const auto items = run.counters.find("items_per_second");
+      rec.throughput = items != run.counters.end()
+                           ? static_cast<double>(items->second)
+                           : static_cast<double>(run.iterations) /
+                                 run.real_accumulated_time;
+      rec.commits = static_cast<std::uint64_t>(run.iterations);
+      const auto fp = run.counters.find("fast_path_hit_rate");
+      if (fp != run.counters.end()) {
+        rec.fast_path_hit_rate = static_cast<double>(fp->second);
+      }
+      sink.add(std::move(rec));
+    }
+    if (!sink.flush()) return 1;
+  }
+  return 0;
+}

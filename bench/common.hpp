@@ -6,10 +6,12 @@
 //   -threads 1,2,4,8,16,32,40,80   thread counts (paper's x-axis)
 //   -ms 2.0                        virtual milliseconds simulated per point
 //   -quick                         coarse sweep (1,8,40) for smoke runs
+//   -json out.json                 also write machine-readable records
 #pragma once
 
 #include <cstdio>
 #include <unistd.h>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -18,6 +20,7 @@
 #include "sim/backends.hpp"
 #include "sim/engine.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace si::bench {
@@ -52,6 +55,117 @@ struct Sweep {
     s.virtual_ns = cli.get_double("ms", s.virtual_ns / 1e6) * 1e6;
     return s;
   }
+};
+
+/// One machine-readable result row: a (system, threads) point with the
+/// quantities the paper plots. `point` distinguishes rows within a binary
+/// that runs several named benchmarks (the primitives harness) or panels;
+/// figure sweeps leave it as the panel title. Shared between the figure
+/// benches and bench_primitives so scripts/bench_to_csv.py reads both.
+struct BenchRecord {
+  std::string system;
+  std::string point;
+  int threads = 1;
+  double throughput = 0.0;  ///< committed tx/s (items/s for primitives)
+  std::uint64_t commits = 0;
+  double abort_pct = 0.0;
+  double abort_pct_transactional = 0.0;
+  double abort_pct_non_transactional = 0.0;
+  double abort_pct_capacity = 0.0;
+  double fast_path_hit_rate = -1.0;  ///< emulation fast path; <0 = not measured
+};
+
+/// Collects BenchRecords and writes them as a `si-bench-v1` JSON document.
+/// Disabled (all calls no-ops) when constructed without a path, so call
+/// sites can pass it unconditionally.
+class JsonSink {
+ public:
+  JsonSink() = default;
+  JsonSink(std::string path, std::string bench)
+      : path_(std::move(path)), bench_(std::move(bench)) {}
+
+  static JsonSink from_cli(const si::util::Cli& cli, std::string bench) {
+    return JsonSink(cli.get("json"), std::move(bench));
+  }
+
+  bool enabled() const noexcept { return !path_.empty(); }
+
+  void add(BenchRecord rec) {
+    if (enabled()) records_.push_back(std::move(rec));
+  }
+
+  void add(const std::string& point, System system, int threads,
+           const si::util::RunStats& rs) {
+    if (!enabled()) return;
+    BenchRecord rec;
+    rec.system = name_of(system);
+    rec.point = point;
+    rec.threads = threads;
+    rec.throughput = rs.throughput();
+    rec.commits = rs.totals.commits;
+    rec.abort_pct = rs.abort_pct();
+    rec.abort_pct_transactional =
+        rs.abort_pct(si::util::AbortClass::kTransactional);
+    rec.abort_pct_non_transactional =
+        rs.abort_pct(si::util::AbortClass::kNonTransactional);
+    rec.abort_pct_capacity = rs.abort_pct(si::util::AbortClass::kCapacity);
+    const auto& fp = rs.totals.fast_path;
+    if (fp.hits + fp.misses > 0) rec.fast_path_hit_rate = fp.hit_rate();
+    records_.push_back(std::move(rec));
+  }
+
+  /// Writes the collected records; returns false (with a message on stderr)
+  /// if the file cannot be opened. Safe to call when disabled.
+  bool flush() const {
+    if (!enabled()) return true;
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    si::util::JsonWriter w(os);
+    w.begin_object();
+    w.key("schema");
+    w.value("si-bench-v1");
+    w.key("bench");
+    w.value(bench_);
+    w.key("records");
+    w.begin_array();
+    for (const auto& r : records_) {
+      w.begin_object();
+      w.key("system");
+      w.value(r.system);
+      w.key("point");
+      w.value(r.point);
+      w.key("threads");
+      w.value(r.threads);
+      w.key("throughput");
+      w.value(r.throughput);
+      w.key("commits");
+      w.value(r.commits);
+      w.key("abort_pct");
+      w.value(r.abort_pct);
+      w.key("abort_pct_transactional");
+      w.value(r.abort_pct_transactional);
+      w.key("abort_pct_non_transactional");
+      w.value(r.abort_pct_non_transactional);
+      w.key("abort_pct_capacity");
+      w.value(r.abort_pct_capacity);
+      if (r.fast_path_hit_rate >= 0) {
+        w.key("fast_path_hit_rate");
+        w.value(r.fast_path_hit_rate);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return bool(os);
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  std::vector<BenchRecord> records_;
 };
 
 /// Runs one (system, thread-count) point. `make_workload(threads)` must
@@ -91,12 +205,14 @@ si::util::RunStats run_point(System system, int threads, double virtual_ns,
 /// "10^6 Tx/s", 1e4 for TPC-C's "10^4 Tx/s").
 template <typename MakeWorkload>
 void run_panel(const std::string& title, const std::vector<System>& systems,
-               const Sweep& sweep, double tx_scale, MakeWorkload&& make_workload) {
+               const Sweep& sweep, double tx_scale, MakeWorkload&& make_workload,
+               JsonSink* sink = nullptr) {
   std::printf("== %s ==\n", title.c_str());
   for (System system : systems) {
     std::vector<si::util::SeriesPoint> points;
     for (int n : sweep.threads) {
       points.push_back({n, run_point(system, n, sweep.virtual_ns, make_workload)});
+      if (sink) sink->add(title, system, n, points.back().stats);
       progress_dot();
     }
     si::util::print_series(std::cout, name_of(system), points, tx_scale);

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   // TPC-C transactions are ~10x longer than hash-map ones; simulate a longer
   // windows by default so low thread counts still commit enough work.
   if (!cli.has("ms")) sweep.virtual_ns = 5e6;
+  auto sink = si::bench::JsonSink::from_cli(cli, "fig10_tpcc_readdom");
   const std::vector<si::bench::System> systems = {
       si::bench::System::kHtm, si::bench::System::kSiHtm,
       si::bench::System::kP8tm, si::bench::System::kSilo};
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
         [&](int threads) {
           return std::make_unique<si::tpcc::Workload>(
               dcfg, si::tpcc::Mix::read_dominated(), threads);
-        });
+        },
+        &sink);
   }
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   si::util::Cli cli(argc, argv);
   const auto sweep = si::bench::Sweep::from_cli(cli);
+  auto sink = si::bench::JsonSink::from_cli(cli, "fig6_hashmap_large_ro");
   const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
                                                   si::bench::System::kSiHtm};
 
@@ -30,7 +31,8 @@ int main(int argc, char** argv) {
         systems, sweep, /*tx_scale=*/1e6,
         [&](int threads) {
           return std::make_unique<si::hashmap::Workload>(wcfg, threads);
-        });
+        },
+        &sink);
   }
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

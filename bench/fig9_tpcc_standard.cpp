@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   // TPC-C transactions are ~10x longer than hash-map ones; simulate a longer
   // windows by default so low thread counts still commit enough work.
   if (!cli.has("ms")) sweep.virtual_ns = 5e6;
+  auto sink = si::bench::JsonSink::from_cli(cli, "fig9_tpcc_standard");
   const std::vector<si::bench::System> systems = {
       si::bench::System::kHtm, si::bench::System::kSiHtm,
       si::bench::System::kP8tm, si::bench::System::kSilo};
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
         [&](int threads) {
           return std::make_unique<si::tpcc::Workload>(
               dcfg, si::tpcc::Mix::standard(), threads);
-        });
+        },
+        &sink);
   }
-  return 0;
+  return sink.flush() ? 0 : 1;
 }

@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
-"""Convert the figure benches' text output into tidy CSV.
+"""Convert bench output (figure-bench text or si-bench-v1 JSON) into tidy
+CSV, and compare two JSON result files.
 
 Usage:
     ./build/bench/fig6_hashmap_large_ro | python3 scripts/bench_to_csv.py > fig6.csv
-    # or over a captured file:
+    # or over a captured file (text or an si-bench-v1 JSON written by -json):
     python3 scripts/bench_to_csv.py bench_output.txt > all_figures.csv
+    python3 scripts/bench_to_csv.py fig6.json > fig6.csv
+    # compare two JSON result files point by point:
+    python3 scripts/bench_to_csv.py --compare old.json new.json
 
-Columns: panel, system, threads, throughput_scaled, aborts_tx_pct,
-aborts_nontx_pct, aborts_capacity_pct, aborts_total_pct.
+CSV columns: panel, system, threads, throughput_scaled, aborts_tx_pct,
+aborts_nontx_pct, aborts_capacity_pct, aborts_total_pct
+(JSON inputs add fast_path_hit_rate when present; their throughput column is
+unscaled tx/s or items/s, named throughput).
+
+--compare keys records on (system, point, threads) and prints one line per
+point with the throughput delta; points present in only one file are listed
+separately.
 
 The paper's plots can then be regenerated with any tool; e.g. gnuplot:
     plot "fig6.csv" using 3:4 with linespoints
 """
 import csv
+import json
 import sys
 
 
-def parse(lines):
+def parse_text(lines):
     panel = ""
     system = ""
     threads = []
@@ -54,13 +65,93 @@ def parse(lines):
                 }
 
 
+def load_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "si-bench-v1":
+        raise SystemExit(f"{path}: not an si-bench-v1 result file")
+    return doc
+
+
+def parse_json(doc):
+    for rec in doc.get("records", []):
+        row = {
+            "panel": rec.get("point", doc.get("bench", "")),
+            "system": rec.get("system", ""),
+            "threads": rec.get("threads", 1),
+            "throughput": rec.get("throughput", 0.0),
+            "aborts_tx_pct": rec.get("abort_pct_transactional", 0.0),
+            "aborts_nontx_pct": rec.get("abort_pct_non_transactional", 0.0),
+            "aborts_capacity_pct": rec.get("abort_pct_capacity", 0.0),
+            "aborts_total_pct": rec.get("abort_pct", 0.0),
+        }
+        if "fast_path_hit_rate" in rec:
+            row["fast_path_hit_rate"] = rec["fast_path_hit_rate"]
+        yield row
+
+
+def record_key(rec):
+    return (rec.get("system", ""), rec.get("point", ""), rec.get("threads", 1))
+
+
+def compare(old_path, new_path):
+    old = {record_key(r): r for r in load_json(old_path)["records"]}
+    new = {record_key(r): r for r in load_json(new_path)["records"]}
+
+    shared = [k for k in old if k in new]
+    if shared:
+        width = max(len(f"{s} {p} x{t}") for s, p, t in shared)
+        print(f"{'point':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
+        for key in shared:
+            s, p, t = key
+            a = old[key].get("throughput", 0.0)
+            b = new[key].get("throughput", 0.0)
+            delta = "   n/a" if a == 0 else f"{(b - a) / a * 100:+7.1f}%"
+            print(f"{f'{s} {p} x{t}':<{width}}  {a:>12.4g}  {b:>12.4g}  {delta:>8}")
+    for key in old:
+        if key not in new:
+            print(f"only in {old_path}: {key[0]} {key[1]} x{key[2]}")
+    for key in new:
+        if key not in old:
+            print(f"only in {new_path}: {key[0]} {key[1]} x{key[2]}")
+    if not shared:
+        print("no shared points between the two files", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
-    source = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
-    rows = list(parse(source))
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--compare":
+        if len(argv) != 3:
+            print("usage: bench_to_csv.py --compare old.json new.json",
+                  file=sys.stderr)
+            return 2
+        return compare(argv[1], argv[2])
+
+    source = open(argv[0]) if argv else sys.stdin
+    head = source.read(1)
+    if head == "{":  # an si-bench-v1 JSON document rather than bench text
+        if not argv:
+            doc = json.loads(head + source.read())
+            if doc.get("schema") != "si-bench-v1":
+                raise SystemExit("stdin: not an si-bench-v1 result file")
+        else:
+            source.close()
+            doc = load_json(argv[0])
+        rows = list(parse_json(doc))
+    else:
+        rows = list(parse_text([head + source.readline()] + source.readlines()))
     if not rows:
         print("no series found in input", file=sys.stderr)
         return 1
-    writer = csv.DictWriter(sys.stdout, fieldnames=list(rows[0].keys()))
+    # JSON rows may have a ragged fast_path_hit_rate column; take the union.
+    fields = list(rows[0].keys())
+    for row in rows:
+        for k in row:
+            if k not in fields:
+                fields.append(k)
+    writer = csv.DictWriter(sys.stdout, fieldnames=fields, restval="")
     writer.writeheader()
     writer.writerows(rows)
     return 0

@@ -40,6 +40,7 @@ HtmRuntime::HtmRuntime(HtmConfig cfg)
     descs_[t].core = cfg_.topo.core_of(t);
     descs_[t].rng = si::util::Xoshiro256(0xC0FFEE ^ static_cast<std::uint64_t>(t));
     descs_[t].lines.reserve(2 * cfg_.tmcam_lines);
+    descs_[t].owned = OwnedLineCache(cfg_.tmcam_lines);
     descs_[t].undo.reserve(256);
     descs_[t].undo_bytes.reserve(4096);
   }
@@ -79,6 +80,7 @@ void HtmRuntime::begin(TxMode tx_mode) {
   assert(tx_mode != TxMode::kNone);
   d.killed.store(AbortCause::kNone, std::memory_order_relaxed);
   d.lines.clear();
+  d.owned.clear();
   d.undo.clear();
   d.undo_bytes.clear();
   d.mode.store(tx_mode, std::memory_order_relaxed);
@@ -221,6 +223,7 @@ void HtmRuntime::release_all_lines(TxDesc& d) {
   }
   if (!d.lines.empty()) release_tmcam(d.core, d.lines.size());
   d.lines.clear();
+  d.owned.clear();
 }
 
 bool HtmRuntime::charge_tmcam(int core) {
@@ -251,13 +254,39 @@ void HtmRuntime::access_chunk(TxDesc& d, void* dst, const void* src,
                               std::size_t len, bool is_write, bool tracked,
                               AbortCause victim_cause) {
   const LineId line = line_of(is_write ? dst : src);
+
+  // Owned-line fast path (DESIGN.md §5.1): if this *active* transaction has
+  // already registered the line in the role the access needs, conflict
+  // resolution is settled — a registered write-owner is exclusive, and a
+  // still-live registered reader cannot coexist with any writer (writers
+  // wait for our rollback before touching the line). Skip the bucket lock
+  // and go straight to the undo-log/memcpy. Kills stay honoured: the flag
+  // is polled here exactly as on the slow path.
+  const bool in_active_tx =
+      d.mode.load(std::memory_order_relaxed) != TxMode::kNone &&
+      d.status.load(std::memory_order_relaxed) == TxStatus::kActive;
+  if (in_active_tx && cfg_.owned_line_fast_path) {
+    const std::uint8_t roles = d.owned.lookup(line);
+    const bool hit = is_write ? (roles & kOwnWriter) != 0 : roles != kOwnNone;
+    if (hit) {
+      poll_killed(d);
+      ++d.fp.hits;
+      if (len > 0) {
+        if (is_write && tracked) undo_log(d, dst, len);
+        std::memcpy(dst, src, len);
+      }
+      return;
+    }
+    ++d.fp.misses;
+  }
+
   auto& bucket = table_.bucket_for(line);
 
   // Conflict-resolution loop: flag conflicting owners, then wait (lock
   // released) for their rollback to clear the entry. Victims that are
   // suspended get rolled back on their behalf; and while we wait we keep
   // honouring kills aimed at us, so mutual kills cannot deadlock.
-  int pending_victims[kMaxThreads + 1];
+  int* pending_victims = d.victim_scratch;
   si::util::Backoff backoff;
   for (;;) {
     if (d.mode.load(std::memory_order_relaxed) != TxMode::kNone &&
@@ -265,6 +294,7 @@ void HtmRuntime::access_chunk(TxDesc& d, void* dst, const void* src,
       poll_killed(d);
     }
     int n_victims = 0;
+    ++d.fp.lock_acquisitions;
     bucket.lock.lock();
     LineEntry* e = bucket.find(line);
     if (e != nullptr) {
@@ -303,7 +333,7 @@ void HtmRuntime::access_chunk(TxDesc& d, void* dst, const void* src,
 
   // --- under bucket lock, line free of conflicting owners ---
   if (tracked) {
-    if (!d.has_line(line)) {
+    if (d.owned.lookup(line) == kOwnNone) {  // first touch: charge the TMCAM
       if (!charge_tmcam(d.core)) {
         bucket.lock.unlock();
         abort_now(d, AbortCause::kCapacity);
@@ -316,6 +346,7 @@ void HtmRuntime::access_chunk(TxDesc& d, void* dst, const void* src,
     } else {
       entry.readers.set(d.tid);
     }
+    d.owned.add(line, is_write ? kOwnWriter : kOwnReader);
   }
   if (len > 0) {
     if (is_write) {
@@ -396,10 +427,12 @@ void HtmRuntime::subscribe_line(const void* addr) {
 void HtmRuntime::kill_line_owners(const void* addr, AbortCause cause) {
   const LineId line = line_of(addr);
   auto& bucket = table_.bucket_for(line);
-  int pending_victims[kMaxThreads + 1];
+  TxDesc& d = self();
+  int* pending_victims = d.victim_scratch;
   si::util::Backoff backoff;
   for (;;) {
     int n_victims = 0;
+    ++d.fp.lock_acquisitions;
     bucket.lock.lock();
     if (LineEntry* e = bucket.find(line)) {
       if (e->writer != LineEntry::kNoWriter) {
@@ -435,5 +468,15 @@ std::size_t HtmRuntime::tmcam_used(int core) const {
 }
 
 std::size_t HtmRuntime::tracked_lines() const { return self().lines.size(); }
+
+si::util::FastPathStats HtmRuntime::fast_path_stats(int tid) const {
+  return descs_[tid].fp;
+}
+
+si::util::FastPathStats HtmRuntime::fast_path_totals() const {
+  si::util::FastPathStats out;
+  for (int t = 0; t < kMaxThreads; ++t) out += descs_[t].fp;
+  return out;
+}
 
 }  // namespace si::p8

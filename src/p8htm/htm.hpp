@@ -49,6 +49,7 @@
 
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
+#include "p8htm/owned_cache.hpp"
 #include "p8htm/topology.hpp"
 #include "util/cacheline.hpp"
 #include "util/logical_clock.hpp"
@@ -195,6 +196,14 @@ class HtmRuntime {
   /// Distinct lines tracked by the calling thread's running transaction.
   std::size_t tracked_lines() const;
 
+  /// Cumulative owned-line fast-path counters of thread `tid`. Only safe to
+  /// read while `tid` is not concurrently running transactions (the counters
+  /// are plain per-thread fields).
+  si::util::FastPathStats fast_path_stats(int tid) const;
+
+  /// Sum of fast_path_stats over all threads.
+  si::util::FastPathStats fast_path_totals() const;
+
   const HtmConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -218,11 +227,18 @@ class HtmRuntime {
     std::vector<unsigned char> undo_bytes;
     si::util::Xoshiro256 rng{0};
 
-    bool has_line(si::util::LineId line) const noexcept {
-      for (auto l : lines)
-        if (l == line) return true;
-      return false;
-    }
+    /// O(1) membership + role of the tracked lines (mirrors `lines`); decides
+    /// both TMCAM charging and fast-path eligibility (DESIGN.md §5.1).
+    OwnedLineCache owned;
+
+    /// Owned-line fast-path counters (owning thread writes, harvested after
+    /// the run via HtmRuntime::fast_path_stats).
+    si::util::FastPathStats fp;
+
+    /// Conflict-resolution scratch: victims flagged in one pass. Hoisted out
+    /// of access_chunk so the hot path does not touch ~0.5 KiB of fresh
+    /// stack per chunk.
+    int victim_scratch[kMaxThreads + 1];
   };
 
   struct alignas(si::util::kLineSize) CoreTmcam {

@@ -10,6 +10,7 @@
 // the emulation never lets a read return uncommitted data (DESIGN.md §5.1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -71,15 +72,31 @@ struct LineEntry {
 
 /// Hash table of LineEntry, sharded into spinlocked buckets. Entries are
 /// created on first registration and reclaimed when their last owner leaves.
+///
+/// Each bucket stores its entries in a small inline slot array (occupancy
+/// tracked by a bitmask) with a heap vector only for the overflow. With the
+/// default table geometry (2^16 buckets) collisions are rare, so the common
+/// lookup touches exactly one cache-resident array and never chases a heap
+/// pointer — the old vector-of-entries layout paid an indirection plus an
+/// O(n) scan on every conflict check.
 class LineTable {
  public:
   struct Bucket {
+    static constexpr std::size_t kInlineSlots = 4;
+
     si::util::Spinlock lock;
-    std::vector<LineEntry> entries;
+    std::uint8_t inline_used = 0;  ///< bit i set ⇔ slots[i] holds an entry
+    LineEntry slots[kInlineSlots];
+    std::vector<LineEntry> overflow;
 
     /// Entry for `line`, or nullptr. Caller must hold `lock`.
     LineEntry* find(si::util::LineId line) noexcept {
-      for (auto& e : entries)
+      for (std::size_t i = 0; i < kInlineSlots; ++i) {
+        if ((inline_used & (1u << i)) != 0 && slots[i].line == line) {
+          return &slots[i];
+        }
+      }
+      for (auto& e : overflow)
         if (e.line == line) return &e;
       return nullptr;
     }
@@ -87,16 +104,32 @@ class LineTable {
     /// Entry for `line`, created if absent. Caller must hold `lock`.
     LineEntry& find_or_create(si::util::LineId line) {
       if (LineEntry* e = find(line)) return *e;
-      return entries.emplace_back(LineEntry{.line = line, .writer = LineEntry::kNoWriter, .readers = {}});
+      if (inline_used != (1u << kInlineSlots) - 1) {
+        const unsigned i = static_cast<unsigned>(
+            __builtin_ctz(~static_cast<unsigned>(inline_used)));
+        inline_used |= static_cast<std::uint8_t>(1u << i);
+        slots[i] = LineEntry{.line = line, .writer = LineEntry::kNoWriter, .readers = {}};
+        return slots[i];
+      }
+      return overflow.emplace_back(
+          LineEntry{.line = line, .writer = LineEntry::kNoWriter, .readers = {}});
     }
 
     /// Removes `line`'s entry if it has no owners. Caller must hold `lock`.
     void reclaim_if_unowned(si::util::LineId line) noexcept {
-      for (std::size_t i = 0; i < entries.size(); ++i) {
-        if (entries[i].line == line) {
-          if (entries[i].unowned()) {
-            entries[i] = entries.back();
-            entries.pop_back();
+      for (std::size_t i = 0; i < kInlineSlots; ++i) {
+        if ((inline_used & (1u << i)) != 0 && slots[i].line == line) {
+          if (slots[i].unowned()) {
+            inline_used &= static_cast<std::uint8_t>(~(1u << i));
+          }
+          return;
+        }
+      }
+      for (std::size_t i = 0; i < overflow.size(); ++i) {
+        if (overflow[i].line == line) {
+          if (overflow[i].unowned()) {
+            overflow[i] = overflow.back();
+            overflow.pop_back();
           }
           return;
         }

@@ -1,0 +1,111 @@
+// Per-transaction owned-line cache: an open-addressing hash set over the
+// lines a running transaction has already registered in the conflict table,
+// with the role(s) it holds on each (reader / write-owner).
+//
+// This is thread-private state consulted on *every* emulated access, so it is
+// built for the two operations the hot path needs:
+//
+//  * lookup(line) — O(1) expected, no locks, no allocation: decides whether
+//    the access may take the owned-line fast path (DESIGN.md §5.1) and, at
+//    registration time, whether the line still needs a TMCAM charge
+//    (replacing the old linear scan over the tracked-lines vector).
+//  * clear() — O(1): entries are generation-stamped, so retiring a
+//    transaction is a single counter bump instead of a table wipe.
+//
+// The table never removes individual lines: a transaction's registrations
+// only ever disappear all at once (commit or rollback), which is exactly the
+// generation-bump case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/cacheline.hpp"
+
+namespace si::p8 {
+
+/// Role bits a transaction holds on a registered line.
+inline constexpr std::uint8_t kOwnNone = 0;
+inline constexpr std::uint8_t kOwnReader = 1;  ///< in the line's reader set
+inline constexpr std::uint8_t kOwnWriter = 2;  ///< the line's (exclusive) writer
+
+class OwnedLineCache {
+ public:
+  /// `expected_lines` sizes the table so a transaction tracking that many
+  /// lines stays under half load (TMCAM budgets are small, so the default
+  /// never grows in practice).
+  explicit OwnedLineCache(std::size_t expected_lines = 64) {
+    capacity_ = 16;
+    while (capacity_ < 4 * expected_lines) capacity_ <<= 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+  }
+
+  /// Role bits held on `line` this generation (kOwnNone if unregistered).
+  std::uint8_t lookup(si::util::LineId line) const noexcept {
+    const std::size_t mask = capacity_ - 1;
+    for (std::size_t i = hash(line) & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.epoch != epoch_) return kOwnNone;  // empty/stale: not present
+      if (s.line == line) return s.roles;
+    }
+  }
+
+  /// ORs `roles` into `line`'s entry, inserting it if absent.
+  void add(si::util::LineId line, std::uint8_t roles) {
+    if (2 * (count_ + 1) > capacity_) grow();
+    const std::size_t mask = capacity_ - 1;
+    for (std::size_t i = hash(line) & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.epoch != epoch_) {  // empty/stale: claim
+        s = Slot{line, epoch_, roles};
+        ++count_;
+        return;
+      }
+      if (s.line == line) {
+        s.roles |= roles;
+        return;
+      }
+    }
+  }
+
+  /// Forgets every entry (transaction retired). O(1): bumps the generation.
+  void clear() noexcept {
+    ++epoch_;
+    count_ = 0;
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    si::util::LineId line = 0;
+    std::uint64_t epoch = 0;  ///< valid iff equal to the cache's epoch_
+    std::uint8_t roles = kOwnNone;
+  };
+
+  static std::size_t hash(si::util::LineId line) noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(line) * 0x9E3779B97F4A7C15ULL) >> 32);
+  }
+
+  void grow() {
+    const std::size_t old_cap = capacity_;
+    auto old = std::move(slots_);
+    capacity_ <<= 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    const std::uint64_t live = epoch_;
+    count_ = 0;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old[i].epoch == live) add(old[i].line, old[i].roles);
+    }
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t capacity_ = 0;
+  std::size_t count_ = 0;
+  std::uint64_t epoch_ = 1;  ///< slots start at 0, i.e. empty
+};
+
+}  // namespace si::p8

@@ -40,6 +40,13 @@ struct HtmConfig {
   /// reasons, the TMCAM can also track a small fraction of reads in a ROT").
   /// 0 disables the effect; the ablation benches sweep it.
   unsigned rot_read_tracking_pct = 0;
+
+  /// Owned-line fast path (DESIGN.md §5.1): accesses to lines the running
+  /// transaction has already registered skip conflict resolution and the
+  /// bucket lock. Off, every access takes the locked slow path — the
+  /// pre-optimization behaviour, kept togglable so tests can assert the two
+  /// paths are observationally identical.
+  bool owned_line_fast_path = true;
 };
 
 }  // namespace si::p8

@@ -185,7 +185,14 @@ class RealSubstrate {
   // --- escape hatches for wrappers/tests ------------------------------------
 
   si::p8::HtmRuntime& htm() noexcept { return rt_; }
-  std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+  std::vector<si::util::ThreadStats>& thread_stats() {
+    // Mirror the emulation's owned-line fast-path counters into the stats
+    // rows (cumulative snapshot; callers read this after their threads quiesce).
+    for (int t = 0; t < n_threads(); ++t) {
+      stats_[static_cast<std::size_t>(t)].fast_path = rt_.fast_path_stats(t);
+    }
+    return stats_;
+  }
   const RealSubstrateConfig& config() const noexcept { return cfg_; }
 
  private:

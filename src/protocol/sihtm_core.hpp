@@ -19,6 +19,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "p8htm/abort.hpp"
@@ -197,33 +198,77 @@ class SiHtmCore {
   /// TxEnd (Algorithm 1, lines 11-24): publish `completed` outside the ROT,
   /// then wait until every transaction active in our snapshot has completed,
   /// and only then HTMEnd.
+  ///
+  /// The wait is per-slot (Algorithm 1's per-thread condition): the stragglers
+  /// are collected once from the snapshot and each is then spun on
+  /// individually, in rotation, until its own slot moves — the StateTable is
+  /// never re-snapshotted, threads that were inactive or completed in the
+  /// snapshot are never re-read, and a straggler that retires early is
+  /// dropped from the rotation immediately instead of blocking the scan
+  /// behind a slower predecessor. Backoff (ws.poll) escalates only across
+  /// full rotations that made no progress.
   void tx_end(int tid, si::util::ThreadStats& st) {
     sub_.publish_completed();  // throws if a conflict hit us while suspended
 
     std::uint64_t snapshot[si::p8::kMaxThreads];
     sub_.snapshot_states(snapshot);
-    {
-      auto ws = sub_.wait_scope(st);
-      for (int c = 0; c < sub_.n_threads(); ++c) {
-        if (c == tid || snapshot[c] <= kStateCompleted) continue;
-        auto guard = sub_.straggler_guard();
-        ws.reset();
-        while (sub_.state(c) == snapshot[c]) {
-          // A read of our write set during the wait kills us here
-          // (Fig. 4A); check_killed turns the flag into a TxAbort.
-          sub_.check_killed();
-          ws.tick();
-          if (guard.armed() && guard.should_kill()) {
-            sub_.kill_tx_of(c, si::util::AbortCause::kKilledAsStraggler);
-            guard.rearm();  // the kill lands at the victim's next poll
-          }
-          ws.poll();
-        }
-      }
+
+    int outstanding[si::p8::kMaxThreads];
+    int n_out = 0;
+    for (int c = 0; c < sub_.n_threads(); ++c) {
+      if (c != tid && snapshot[c] > kStateCompleted) outstanding[n_out++] = c;
     }
+    if (n_out > 0) wait_for_stragglers(snapshot, outstanding, n_out, st);
+
     sub_.hw_commit();  // HTMEnd
     rec_commit(tid);
     sub_.set_inactive();
+  }
+
+  /// Spins until every thread in `outstanding` has left the state recorded
+  /// in `snapshot`. One straggler guard per slot, created when the wait
+  /// starts, preserves the per-straggler killing policy.
+  void wait_for_stragglers(const std::uint64_t* snapshot, int* outstanding,
+                           int n_out, si::util::ThreadStats& st) {
+    using Guard = decltype(sub_.straggler_guard());
+    std::optional<Guard> guards[si::p8::kMaxThreads];
+    if (sub_.straggler_guard().armed()) {
+      for (int i = 0; i < n_out; ++i) guards[i].emplace(sub_.straggler_guard());
+    }
+
+    auto ws = sub_.wait_scope(st);
+    while (n_out > 0) {
+      bool progressed = false;
+      for (int i = 0; i < n_out;) {
+        const int c = outstanding[i];
+        if (sub_.state(c) != snapshot[c]) {  // straggler retired
+          outstanding[i] = outstanding[n_out - 1];
+          if (guards[n_out - 1]) guards[i].emplace(*guards[n_out - 1]);
+          guards[n_out - 1].reset();
+          --n_out;
+          progressed = true;
+          continue;
+        }
+        ++i;
+      }
+      if (n_out == 0) break;
+      // A read of our write set during the wait kills us here (Fig. 4A);
+      // check_killed turns the flag into a TxAbort.
+      sub_.check_killed();
+      ws.tick();
+      for (int i = 0; i < n_out; ++i) {
+        if (guards[i] && guards[i]->should_kill()) {
+          sub_.kill_tx_of(outstanding[i],
+                          si::util::AbortCause::kKilledAsStraggler);
+          guards[i]->rearm();  // the kill lands at the victim's next poll
+        }
+      }
+      if (progressed) {
+        ws.reset();  // restart the backoff ladder after forward progress
+      } else {
+        ws.poll();
+      }
+    }
   }
 
   void rec_begin(int tid, bool ro) {

@@ -22,6 +22,7 @@ SimEngine::SimEngine(const SimMachineConfig& cfg, int n_threads)
   lines_.reserve(1 << 16);
   for (auto& d : descs_) {
     d.lines.reserve(2 * cfg.tmcam_lines);
+    d.owned = si::p8::OwnedLineCache(cfg.tmcam_lines + cfg.lvdir_lines);
     d.undo.reserve(256);
     d.undo_bytes.reserve(4096);
   }
@@ -66,6 +67,7 @@ void SimEngine::tx_begin(SimTxMode mode) {
   d.killed = AbortCause::kNone;
   d.uses_lvdir = false;
   d.lines.clear();
+  d.owned.clear();
   d.undo.clear();
   d.undo_bytes.clear();
   // POWER9 model: a regular HTM transaction tries to win one of the LVDIR's
@@ -139,6 +141,7 @@ void SimEngine::release_lines(SimTxDesc& d, int tid) {
     d.uses_lvdir = false;
   }
   d.lines.clear();
+  d.owned.clear();
 }
 
 void SimEngine::abort_now(SimTxDesc& d, AbortCause cause) {
@@ -205,7 +208,7 @@ void SimEngine::access_line(LineId line, unsigned char* dst,
 
   SimTxDesc& d = descs_[static_cast<std::size_t>(tid)];
   if (tracked) {
-    if (!d.has_line(line)) {
+    if (d.owned.lookup(line) == si::p8::kOwnNone) {
       // Reads of an LVDIR-holding transaction are tracked there; everything
       // else (all writes, and reads without a slot) occupies the TMCAM.
       const bool to_lvdir = !is_write && d.uses_lvdir;
@@ -224,6 +227,7 @@ void SimEngine::access_line(LineId line, unsigned char* dst,
       }
       d.lines.push_back({line, to_lvdir});
     }
+    d.owned.add(line, is_write ? si::p8::kOwnWriter : si::p8::kOwnReader);
     SimLine& e = lines_[line];
     if (is_write) {
       e.writer = tid;

@@ -18,6 +18,7 @@
 
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
+#include "p8htm/owned_cache.hpp"
 #include "sim/fiber.hpp"
 #include "sim/machine.hpp"
 #include "util/cacheline.hpp"
@@ -167,14 +168,11 @@ class SimEngine {
     si::util::AbortCause killed = si::util::AbortCause::kNone;
     bool uses_lvdir = false;  ///< holds an LVDIR slot for this transaction
     std::vector<TrackedLine> lines;
+    /// O(1) membership of `lines` (same structure the real runtime uses for
+    /// its owned-line fast path); replaces a per-access linear scan.
+    si::p8::OwnedLineCache owned;
     std::vector<UndoRecord> undo;
     std::vector<unsigned char> undo_bytes;
-
-    bool has_line(si::util::LineId line) const noexcept {
-      for (const auto& l : lines)
-        if (l.line == line) return true;
-      return false;
-    }
   };
 
   struct SimLine {

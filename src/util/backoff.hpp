@@ -18,19 +18,27 @@ namespace si::util {
 
 class Backoff {
  public:
+  /// Exponentially growing relax bursts (1, 2, 4, ... capped at
+  /// 2^kCeilingRound), then yield() on every subsequent call. The ceiling
+  /// bounds the total busy-spin budget to ~2^(kCeilingRound+1) relaxes, so a
+  /// waiter whose victim is slow to roll back (e.g. a doomed transaction
+  /// being helped on another core) escalates to the scheduler within a few
+  /// calls instead of burning the core.
   void pause() noexcept {
-    if (++spins_ < kPauseSpins) {
-      cpu_relax();
+    if (round_ <= kCeilingRound) {
+      const int burst = 1 << round_;
+      for (int i = 0; i < burst; ++i) cpu_relax();
+      ++round_;
     } else {
       std::this_thread::yield();
     }
   }
 
-  void reset() noexcept { spins_ = 0; }
+  void reset() noexcept { round_ = 0; }
 
  private:
-  static constexpr int kPauseSpins = 64;
-  int spins_ = 0;
+  static constexpr int kCeilingRound = 5;  // 1+2+...+32 = 63 relaxes, then yield
+  int round_ = 0;
 };
 
 /// Randomized exponential backoff after an abort, in caller-defined time

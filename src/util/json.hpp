@@ -1,0 +1,135 @@
+// Minimal streaming JSON writer — just enough for the bench harnesses to
+// emit machine-readable result files without an external dependency.
+//
+// Usage:
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("name"); w.value("fig6");
+//   w.key("records"); w.begin_array();
+//   ... begin_object()/key()/value()/end_object() per record ...
+//   w.end_array();
+//   w.end_object();
+//
+// The writer tracks nesting and inserts commas/newlines; values are scalars
+// (string / double / integers / bool). Doubles are emitted with enough
+// precision to round-trip; NaN/Inf (not representable in JSON) are emitted
+// as null.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace si::util {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view name) {
+    separate();
+    write_string(name);
+    os_ << ": ";
+    expecting_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    separate();
+    write_string(s);
+  }
+  void value(const char* s) { value(std::string_view{s}); }
+  void value(bool b) {
+    separate();
+    os_ << (b ? "true" : "false");
+  }
+  void value(double d) {
+    separate();
+    if (!std::isfinite(d)) {
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    os_ << v;
+  }
+  void value(std::int64_t v) {
+    separate();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+ private:
+  void open(char c) {
+    separate();
+    os_ << c;
+    depth_.push_back(0);
+  }
+
+  void close(char c) {
+    const bool had_items = !depth_.empty() && depth_.back() > 0;
+    if (!depth_.empty()) depth_.pop_back();
+    if (had_items) {
+      os_ << '\n';
+      indent();
+    }
+    os_ << c;
+    if (depth_.empty()) os_ << '\n';
+  }
+
+  /// Emits the comma/newline/indent due before the next item, unless this
+  /// item is the value completing a `key()` (which supplied its own spacing).
+  void separate() {
+    if (expecting_value_) {
+      expecting_value_ = false;
+      return;
+    }
+    if (depth_.empty()) return;
+    if (depth_.back() > 0) os_ << ',';
+    os_ << '\n';
+    ++depth_.back();
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < depth_.size(); ++i) os_ << "  ";
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<int> depth_;  ///< per open scope: items emitted so far
+  bool expecting_value_ = false;
+};
+
+}  // namespace si::util

@@ -52,6 +52,29 @@ constexpr AbortClass classify(AbortCause cause) noexcept {
   }
 }
 
+/// Counters for the P8-HTM emulation's owned-line fast path (DESIGN.md
+/// §5.1): how many in-transaction accesses skipped the conflict table's
+/// bucket lock via the per-thread ownership cache, and how many bucket-lock
+/// acquisitions the slow path still performed. Updated by the owning thread
+/// only; harvested after the run.
+struct FastPathStats {
+  std::uint64_t hits = 0;    ///< accesses served lock-free from the cache
+  std::uint64_t misses = 0;  ///< in-transaction accesses that took the slow path
+  std::uint64_t lock_acquisitions = 0;  ///< bucket-lock acquisitions (all paths)
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  FastPathStats& operator+=(const FastPathStats& other) noexcept {
+    hits += other.hits;
+    misses += other.misses;
+    lock_acquisitions += other.lock_acquisitions;
+    return *this;
+  }
+};
+
 /// Per-thread counters; aggregated (summed) across threads at the end of a
 /// run. Cache-line padded so counting never causes false sharing.
 struct alignas(128) ThreadStats {
@@ -61,6 +84,8 @@ struct alignas(128) ThreadStats {
   std::uint64_t aborts_by_cause[static_cast<int>(AbortCause::kCauseCount_)] = {};
   std::uint64_t wait_cycles = 0;    ///< time spent in the safety wait
   std::uint64_t sgl_wait_cycles = 0;
+  FastPathStats fast_path;          ///< emulation fast-path counters (real
+                                    ///< substrate only; zero in the sim)
 
   void record_abort(AbortCause cause) noexcept {
     ++aborts_by_cause[static_cast<int>(cause)];

@@ -201,6 +201,25 @@ TEST_P(EquivalenceTest, SiHtm) {
       real.stats.aborts_by_cause[static_cast<int>(AbortCause::kCapacity)], 0u);
 }
 
+TEST_P(EquivalenceTest, SiHtmFastPathToggle) {
+  // The owned-line fast path is a pure shortcut: with it force-disabled the
+  // same script must produce identical accounting and final state, and only
+  // the enabled run may report ownership-cache hits.
+  const auto script = make_script(GetParam(), /*with_capacity_stress=*/true);
+  const auto fast = run_real<si::sihtm::SiHtm>(script, [](auto& rec) {
+    return si::sihtm::SiHtm({.max_threads = 8, .recorder = &rec});
+  });
+  si::p8::HtmConfig slow_htm;
+  slow_htm.owned_line_fast_path = false;
+  const auto slow = run_real<si::sihtm::SiHtm>(script, [&](auto& rec) {
+    return si::sihtm::SiHtm(
+        {.htm = slow_htm, .max_threads = 8, .recorder = &rec});
+  });
+  expect_equivalent(fast, slow);
+  EXPECT_GT(fast.stats.fast_path.hits, 0u);
+  EXPECT_EQ(slow.stats.fast_path.hits, 0u);
+}
+
 TEST_P(EquivalenceTest, HtmSgl) {
   const auto script = make_script(GetParam(), /*with_capacity_stress=*/true);
   const auto real = run_real<si::baselines::HtmSgl>(script, [](auto& rec) {

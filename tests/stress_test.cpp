@@ -142,6 +142,89 @@ TEST(StressCapacity, TmcamNeverLeaksUnderAbortChurn) {
   }
 }
 
+// Owned-line fast path (DESIGN.md section 5.1): repeat accesses to lines a
+// transaction already owns skip the bucket lock entirely, so this hammers
+// exactly that unlocked path from several writers while plain readers watch
+// the same lines for torn values. Run once with the fast path on and once
+// force-disabled: both runs must stay untorn, finish the same deterministic
+// number of commits, and only the enabled run may report cache hits.
+std::uint64_t owned_line_hammer(bool fast_path,
+                                si::util::FastPathStats* fp_out) {
+  HtmConfig cfg;
+  cfg.owned_line_fast_path = fast_path;
+  HtmRuntime rt{cfg};
+  constexpr int kWriters = 6, kReaders = 2, kCommitsPerWriter = 40;
+  constexpr std::size_t kCells = 4, kRepeats = 24;
+  std::vector<Cell> cells(kCells);
+  std::atomic<int> writers_left{kWriters};
+  std::atomic<bool> torn{false};
+  std::atomic<std::uint64_t> commits{0};
+
+  // Every committed value replicates one byte across the word, so any mix of
+  // two values (a torn read) fails this check.
+  auto untorn = [](std::uint64_t v) {
+    return v == (v & 0xFF) * 0x0101010101010101ULL;
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);
+      si::util::Xoshiro256 rng(910 + t);
+      for (int done = 0; done < kCommitsPerWriter;) {
+        const std::uint64_t pattern =
+            (1 + rng.below(255)) * 0x0101010101010101ULL;
+        try {
+          rt.begin(TxMode::kRot);
+          for (std::size_t r = 0; r < kRepeats; ++r) {
+            for (auto& c : cells) rt.store(&c.v, pattern);
+          }
+          // Read-own-write goes through the write-owner role of the cache.
+          for (auto& c : cells) {
+            if (rt.load(&c.v) != pattern) torn.store(true);
+          }
+          rt.commit();
+          ++done;
+          commits.fetch_add(1, std::memory_order_relaxed);
+        } catch (const TxAbort&) {
+        }
+      }
+      writers_left.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  for (int t = kWriters; t < kWriters + kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      rt.register_thread(t);
+      std::size_t i = 0;
+      while (writers_left.load(std::memory_order_acquire) > 0) {
+        const auto seen = rt.plain_load(&cells[i % kCells].v);
+        if (!untorn(seen)) torn.store(true);
+        ++i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(torn.load()) << "torn value observed (fast_path="
+                            << fast_path << ")";
+  // Write locks are held to commit, so committed writers serialize: the
+  // final state is the last committer's pattern on every line.
+  for (auto& c : cells) {
+    EXPECT_TRUE(untorn(c.v));
+    EXPECT_EQ(c.v, cells[0].v);
+  }
+  if (fp_out) *fp_out = rt.fast_path_totals();
+  return commits.load();
+}
+
+TEST(StressFastPath, OwnedLineHammerUntornWithIdenticalCommits) {
+  si::util::FastPathStats fp_on, fp_off;
+  const auto commits_on = owned_line_hammer(true, &fp_on);
+  const auto commits_off = owned_line_hammer(false, &fp_off);
+  EXPECT_EQ(commits_on, commits_off);
+  EXPECT_GT(fp_on.hits, 0u);
+  EXPECT_EQ(fp_off.hits, 0u);  // disabled: every access takes the slow path
+}
+
 TEST(StressMixed, SiHtmSurvivesAdversarialMixAndStaysConsistent) {
   si::sihtm::SiHtmConfig cfg;
   cfg.max_threads = 6;
