@@ -7,6 +7,7 @@
 //   -ms 2.0                        virtual milliseconds simulated per point
 //   -quick                         coarse sweep (1,8,40) for smoke runs
 //   -json out.json                 also write machine-readable records
+//   -trace out.trace.json          Chrome trace of the sweep's last point
 #pragma once
 
 #include <cstdio>
@@ -17,6 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sim/backends.hpp"
 #include "sim/engine.hpp"
 #include "util/cli.hpp"
@@ -73,6 +78,8 @@ struct BenchRecord {
   double abort_pct_non_transactional = 0.0;
   double abort_pct_capacity = 0.0;
   double fast_path_hit_rate = -1.0;  ///< emulation fast path; <0 = not measured
+  double safety_wait_p50_ns = -1.0;  ///< obs metrics; <0 = not measured
+  double safety_wait_p99_ns = -1.0;
 };
 
 /// Collects BenchRecords and writes them as a `si-bench-v1` JSON document.
@@ -95,7 +102,8 @@ class JsonSink {
   }
 
   void add(const std::string& point, System system, int threads,
-           const si::util::RunStats& rs) {
+           const si::util::RunStats& rs,
+           const si::obs::MetricsSnapshot* m = nullptr) {
     if (!enabled()) return;
     BenchRecord rec;
     rec.system = name_of(system);
@@ -111,6 +119,12 @@ class JsonSink {
     rec.abort_pct_capacity = rs.abort_pct(si::util::AbortClass::kCapacity);
     const auto& fp = rs.totals.fast_path;
     if (fp.hits + fp.misses > 0) rec.fast_path_hit_rate = fp.hit_rate();
+    if (m != nullptr) {
+      // 0 with metrics attached means "measured, no waits" (e.g. plain HTM);
+      // -1 (metrics off) means "not measured". --compare needs the difference.
+      rec.safety_wait_p50_ns = static_cast<double>(m->safety_wait_p50_ns());
+      rec.safety_wait_p99_ns = static_cast<double>(m->safety_wait_p99_ns());
+    }
     records_.push_back(std::move(rec));
   }
 
@@ -155,6 +169,12 @@ class JsonSink {
         w.key("fast_path_hit_rate");
         w.value(r.fast_path_hit_rate);
       }
+      if (r.safety_wait_p50_ns >= 0) {
+        w.key("safety_wait_p50_ns");
+        w.value(r.safety_wait_p50_ns);
+        w.key("safety_wait_p99_ns");
+        w.value(r.safety_wait_p99_ns);
+      }
       w.end_object();
     }
     w.end_array();
@@ -169,10 +189,13 @@ class JsonSink {
 };
 
 /// Runs one (system, thread-count) point. `make_workload(threads)` must
-/// return a fresh workload object exposing `step(cc, tid)`.
+/// return a fresh workload object exposing `step(cc, tid)`. `obs` optionally
+/// attaches tracing/metrics sinks; the hooks never advance virtual time, so
+/// the simulated results are identical with and without them.
 template <typename MakeWorkload>
 si::util::RunStats run_point(System system, int threads, double virtual_ns,
-                             MakeWorkload&& make_workload) {
+                             MakeWorkload&& make_workload,
+                             si::obs::ObsConfig obs = {}) {
   si::sim::SimMachineConfig mcfg;  // the paper's machine: 10 cores, SMT-8
   si::sim::SimEngine eng(mcfg, threads);
   auto workload = make_workload(threads);
@@ -181,19 +204,19 @@ si::util::RunStats run_point(System system, int threads, double virtual_ns,
   };
   switch (system) {
     case System::kHtm: {
-      si::sim::SimHtmSgl cc(eng);
+      si::sim::SimHtmSgl cc(eng, 10, nullptr, obs);
       return drive(cc);
     }
     case System::kSiHtm: {
-      si::sim::SimSiHtm cc(eng);
+      si::sim::SimSiHtm cc(eng, 10, 0, nullptr, obs);
       return drive(cc);
     }
     case System::kP8tm: {
-      si::sim::SimP8tm cc(eng);
+      si::sim::SimP8tm cc(eng, 10, nullptr, obs);
       return drive(cc);
     }
     case System::kSilo: {
-      si::sim::SimSilo cc(eng);
+      si::sim::SimSilo cc(eng, nullptr, obs);
       return drive(cc);
     }
   }
@@ -203,16 +226,44 @@ si::util::RunStats run_point(System system, int threads, double virtual_ns,
 /// Full panel: every system over the sweep; prints the paper-style block.
 /// `tx_scale` matches the paper's y-axis units (1e6 for the hash map's
 /// "10^6 Tx/s", 1e4 for TPC-C's "10^4 Tx/s").
+///
+/// When the sink is enabled, per-point obs metrics (safety-wait percentiles)
+/// ride along in the records. `trace_path` (the -trace flag) additionally
+/// writes a Chrome trace; each point overwrites it, so the file ends up
+/// holding the panel's last (system, threads) point.
 template <typename MakeWorkload>
 void run_panel(const std::string& title, const std::vector<System>& systems,
                const Sweep& sweep, double tx_scale, MakeWorkload&& make_workload,
-               JsonSink* sink = nullptr) {
+               JsonSink* sink = nullptr, const std::string& trace_path = {}) {
   std::printf("== %s ==\n", title.c_str());
+  const bool want_obs = (sink && sink->enabled()) || !trace_path.empty();
   for (System system : systems) {
     std::vector<si::util::SeriesPoint> points;
     for (int n : sweep.threads) {
-      points.push_back({n, run_point(system, n, sweep.virtual_ns, make_workload)});
-      if (sink) sink->add(title, system, n, points.back().stats);
+      if (want_obs) {
+        si::obs::Tracer tracer(trace_path.empty() ? 0 : n);
+        si::obs::Metrics metrics(n);
+        const si::obs::ObsConfig obs{trace_path.empty() ? nullptr : &tracer,
+                                     &metrics};
+        points.push_back(
+            {n, run_point(system, n, sweep.virtual_ns, make_workload, obs)});
+        const auto snap = metrics.snapshot();
+        if (sink) sink->add(title, system, n, points.back().stats, &snap);
+        if (!trace_path.empty()) {
+          std::ofstream os(trace_path);
+          if (os) {
+            si::obs::write_chrome_trace(os, tracer,
+                                        std::string(name_of(system)) + " " +
+                                            std::to_string(n) + "t");
+          } else {
+            std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+          }
+        }
+      } else {
+        points.push_back(
+            {n, run_point(system, n, sweep.virtual_ns, make_workload)});
+        if (sink) sink->add(title, system, n, points.back().stats);
+      }
       progress_dot();
     }
     si::util::print_series(std::cout, name_of(system), points, tx_scale);

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
         [&](int threads) {
           return std::make_unique<si::hashmap::Workload>(wcfg, threads);
         },
-        &sink);
+        &sink, cli.get("trace"));
   }
   return sink.flush() ? 0 : 1;
 }

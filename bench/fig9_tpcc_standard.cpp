@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
           return std::make_unique<si::tpcc::Workload>(
               dcfg, si::tpcc::Mix::standard(), threads);
         },
-        &sink);
+        &sink, cli.get("trace"));
   }
   return sink.flush() ? 0 : 1;
 }

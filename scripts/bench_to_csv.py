@@ -16,8 +16,10 @@ aborts_nontx_pct, aborts_capacity_pct, aborts_total_pct
 unscaled tx/s or items/s, named throughput).
 
 --compare keys records on (system, point, threads) and prints one line per
-point with the throughput delta; points present in only one file are listed
-separately.
+point with the throughput delta; when both files carry obs metrics
+(safety_wait_p50_ns/safety_wait_p99_ns, written by the benches when -json
+and tracing-era builds are used), it also diffs the safety-wait percentiles.
+Points present in only one file are listed separately.
 
 The paper's plots can then be regenerated with any tool; e.g. gnuplot:
     plot "fig6.csv" using 3:4 with linespoints
@@ -87,6 +89,9 @@ def parse_json(doc):
         }
         if "fast_path_hit_rate" in rec:
             row["fast_path_hit_rate"] = rec["fast_path_hit_rate"]
+        if "safety_wait_p50_ns" in rec:
+            row["safety_wait_p50_ns"] = rec["safety_wait_p50_ns"]
+            row["safety_wait_p99_ns"] = rec.get("safety_wait_p99_ns", 0.0)
         yield row
 
 
@@ -94,11 +99,19 @@ def record_key(rec):
     return (rec.get("system", ""), rec.get("point", ""), rec.get("threads", 1))
 
 
+def fmt_delta(a, b):
+    return "   n/a" if a == 0 else f"{(b - a) / a * 100:+7.1f}%"
+
+
 def compare(old_path, new_path):
     old = {record_key(r): r for r in load_json(old_path)["records"]}
     new = {record_key(r): r for r in load_json(new_path)["records"]}
 
     shared = [k for k in old if k in new]
+    wait_metrics = [
+        ("safety_wait_p50_ns", "wait-p50"),
+        ("safety_wait_p99_ns", "wait-p99"),
+    ]
     if shared:
         width = max(len(f"{s} {p} x{t}") for s, p, t in shared)
         print(f"{'point':<{width}}  {'old':>12}  {'new':>12}  {'delta':>8}")
@@ -106,8 +119,13 @@ def compare(old_path, new_path):
             s, p, t = key
             a = old[key].get("throughput", 0.0)
             b = new[key].get("throughput", 0.0)
-            delta = "   n/a" if a == 0 else f"{(b - a) / a * 100:+7.1f}%"
-            print(f"{f'{s} {p} x{t}':<{width}}  {a:>12.4g}  {b:>12.4g}  {delta:>8}")
+            print(f"{f'{s} {p} x{t}':<{width}}  {a:>12.4g}  {b:>12.4g}  "
+                  f"{fmt_delta(a, b):>8}")
+            for field, label in wait_metrics:
+                if field in old[key] and field in new[key]:
+                    wa, wb = old[key][field], new[key][field]
+                    print(f"{f'  {label}':<{width}}  {wa:>12.4g}  "
+                          f"{wb:>12.4g}  {fmt_delta(wa, wb):>8}")
     for key in old:
         if key not in new:
             print(f"only in {old_path}: {key[0]} {key[1]} x{key[2]}")

@@ -20,6 +20,9 @@ struct HtmSglConfig {
 
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp).
+  si::obs::ObsConfig obs{};
 };
 
 /// Access handle for one attempt (hardware path or SGL path).
@@ -30,7 +33,7 @@ class HtmSgl {
   explicit HtmSgl(HtmSglConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
-              cfg.recorder}),
+              cfg.recorder, cfg.obs}),
         core_(sub_, {cfg.retries}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }

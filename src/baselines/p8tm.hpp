@@ -21,6 +21,9 @@ struct P8tmConfig {
 
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp).
+  si::obs::ObsConfig obs{};
 };
 
 using P8tmTx = si::protocol::P8tmCore<si::protocol::RealSubstrate>::Tx;
@@ -30,7 +33,7 @@ class P8tm {
   explicit P8tm(P8tmConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
-              cfg.recorder}),
+              cfg.recorder, cfg.obs}),
         core_(sub_, {cfg.retries, cfg.version_table_bits}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }

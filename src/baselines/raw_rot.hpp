@@ -27,6 +27,9 @@ struct RawRotConfig {
 
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp).
+  si::obs::ObsConfig obs{};
 };
 
 using RawRotTx = si::protocol::RawRotCore<si::protocol::RealSubstrate>::Tx;
@@ -36,7 +39,7 @@ class RawRot {
   explicit RawRot(RawRotConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
-              cfg.recorder}),
+              cfg.recorder, cfg.obs}),
         core_(sub_, {}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }

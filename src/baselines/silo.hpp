@@ -21,6 +21,9 @@ struct SiloConfig {
 
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp).
+  si::obs::ObsConfig obs{};
 };
 
 using SiloTx = si::protocol::SiloCore<si::protocol::RealSubstrate>::Tx;
@@ -29,7 +32,8 @@ class Silo {
  public:
   explicit Silo(SiloConfig cfg = {})
       : cfg_(cfg),
-        sub_({{}, cfg.max_threads, /*straggler_kill_spins=*/0, cfg.recorder}),
+        sub_({{}, cfg.max_threads, /*straggler_kill_spins=*/0, cfg.recorder,
+              cfg.obs}),
         core_(sub_, {cfg.version_table_bits, cfg.max_read_spins}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }

@@ -174,13 +174,29 @@ void HtmRuntime::abort_now(TxDesc& d, AbortCause cause) {
   rollback(d);
   d.mode.store(TxMode::kNone, std::memory_order_relaxed);
   d.status.store(TxStatus::kInactive, std::memory_order_release);
+  // abort_now only ever runs on the descriptor's own thread (helpers roll
+  // suspended victims back via maybe_help_doomed instead), so emitting into
+  // d.tid's ring is emitting into our own.
+  if (tracer_) {
+    tracer_->emit(d.tid, si::obs::TraceEventKind::kHwRollback,
+                  si::obs::wall_ns(),
+                  (static_cast<std::uint32_t>(cause) << 16) |
+                      static_cast<std::uint32_t>(d.tid));
+  }
   throw TxAbort{cause};
 }
 
 void HtmRuntime::flag_kill(int victim_tid, AbortCause cause) {
   AbortCause expected = AbortCause::kNone;
-  descs_[victim_tid].killed.compare_exchange_strong(
+  const bool won = descs_[victim_tid].killed.compare_exchange_strong(
       expected, cause, std::memory_order_acq_rel);
+  // The kill instant belongs to the killer's timeline: record it in the
+  // *calling* thread's ring (never the victim's — that would race with the
+  // victim's own emits) and only when this call actually set the flag.
+  if (won && tracer_) {
+    tracer_->emit(thread_id(), si::obs::TraceEventKind::kHwKill,
+                  si::obs::wall_ns(), static_cast<std::uint32_t>(victim_tid));
+  }
 }
 
 void HtmRuntime::maybe_help_doomed(int victim_tid) {
@@ -477,6 +493,10 @@ si::util::FastPathStats HtmRuntime::fast_path_totals() const {
   si::util::FastPathStats out;
   for (int t = 0; t < kMaxThreads; ++t) out += descs_[t].fp;
   return out;
+}
+
+void HtmRuntime::reset_fast_path_stats() {
+  for (int t = 0; t < kMaxThreads; ++t) descs_[t].fp.reset();
 }
 
 }  // namespace si::p8

@@ -47,6 +47,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
 #include "p8htm/owned_cache.hpp"
@@ -204,6 +205,18 @@ class HtmRuntime {
   /// Sum of fast_path_stats over all threads.
   si::util::FastPathStats fast_path_totals() const;
 
+  /// Zeroes every thread's fast-path counters. Call between measurement
+  /// phases (e.g. after bench warm-up) while no transactions run — the
+  /// counters are plain per-thread fields.
+  void reset_fast_path_stats();
+
+  /// Attaches a lifecycle tracer (obs/trace.hpp) or detaches with nullptr.
+  /// The runtime emits kHwRollback at the rollback instant and kHwKill when
+  /// a kill is initiated — always into the *calling* thread's ring (the
+  /// victim appears in the arg), so tracing stays race-free. Set before
+  /// threads start transacting; the pointer is read unsynchronised.
+  void set_tracer(si::obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   const HtmConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -281,6 +294,7 @@ class HtmRuntime {
   LineTable table_;
   std::unique_ptr<TxDesc[]> descs_;
   std::unique_ptr<CoreTmcam[]> tmcam_;
+  si::obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace si::p8

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
+#include "obs/obs.hpp"
 #include "p8htm/abort.hpp"
 #include "protocol/substrate.hpp"
 #include "util/stats.hpp"
@@ -78,6 +80,7 @@ class HtmSglCore {
       }
       sub_.pre_begin(HwMode::kHtm);
       rec_begin(tid);
+      const double ot0 = obs_begin(tid, /*sgl=*/false);
       sub_.hw_begin(HwMode::kHtm);
       bool committed = true;
       si::util::AbortCause cause = si::util::AbortCause::kNone;
@@ -93,9 +96,11 @@ class HtmSglCore {
         body(tx);
         sub_.hw_commit();
         rec_commit(tid);
+        obs_commit(tid, ot0, static_cast<std::uint32_t>(attempt + 1));
       } catch (const si::p8::TxAbort& abort) {
         // No substrate wait inside the catch (see sihtm_core.hpp).
         rec_abort(tid);
+        obs_abort(tid, abort.cause);
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -112,14 +117,25 @@ class HtmSglCore {
     }
 
     sub_.gl_lock();
+    double t_acq = 0;
+    if (const auto* o = sub_.obs()) {
+      t_acq = sub_.obs_now();
+      o->sgl_acquire(tid, t_acq);
+    }
     // Abort every subscribed transaction, as the store to the lock word does
-    // on real hardware.
+    // on real hardware. Early subscription means there is nothing to drain —
+    // the kill sweep IS this protocol's quiescence — so the drain-done event
+    // follows immediately.
     sub_.gl_kill_subscribers(si::util::AbortCause::kKilledBySgl);
+    if (const auto* o = sub_.obs()) o->sgl_drain_done(tid, sub_.obs_now());
     rec_begin(tid);
+    const double ot0 = obs_begin(tid, /*sgl=*/true);
     Tx tx(sub_, /*hw=*/false);
     body(tx);
     rec_commit(tid);
+    obs_commit(tid, ot0, static_cast<std::uint32_t>(cfg_.retries + 1));
     sub_.gl_unlock();
+    if (const auto* o = sub_.obs()) o->sgl_release(tid, sub_.obs_now(), t_acq);
     ++st.commits;
     ++st.sgl_commits;
   }
@@ -135,6 +151,21 @@ class HtmSglCore {
   }
   void rec_abort(int tid) {
     if (auto* r = sub_.recorder()) r->abort(tid, sub_.rec_now());
+  }
+
+  double obs_begin(int tid, bool sgl) {
+    if (const auto* o = sub_.obs()) {
+      const double now = sub_.obs_now();
+      o->tx_begin(tid, now, /*ro=*/false, sgl);
+      return now;
+    }
+    return 0;
+  }
+  void obs_commit(int tid, double t0, std::uint32_t attempts) {
+    if (const auto* o = sub_.obs()) o->tx_commit(tid, sub_.obs_now(), t0, attempts);
+  }
+  void obs_abort(int tid, si::util::AbortCause cause) {
+    if (const auto* o = sub_.obs()) o->tx_abort(tid, sub_.obs_now(), cause);
   }
 
   S& sub_;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "baselines/version_table.hpp"
+#include "obs/obs.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/topology.hpp"
 #include "protocol/substrate.hpp"
@@ -118,9 +119,11 @@ class P8tmCore {
     if (is_ro) {
       sync_with_gl();
       rec_begin(tid, /*ro=*/true);
+      const double ot0 = obs_begin(tid, /*ro=*/true);
       Tx tx(*this, TxPath::kReadOnly);
       body(tx);
       rec_commit(tid);
+      obs_commit(tid, ot0, /*attempts=*/1);
       sub_.release_inactive();
       ++st.commits;
       ++st.ro_commits;
@@ -134,16 +137,18 @@ class P8tmCore {
       log.writes.clear();
       sub_.pre_begin(HwMode::kRot);
       rec_begin(tid, /*ro=*/false);
+      const double ot0 = obs_begin(tid, /*ro=*/false);
       sub_.hw_begin(HwMode::kRot);
       bool committed = true;
       si::util::AbortCause cause = si::util::AbortCause::kNone;
       try {
         Tx tx(*this, TxPath::kRot);
         body(tx);
-        commit_update(tid, st, log);
+        commit_update(tid, st, log, ot0, attempt + 1);
       } catch (const si::p8::TxAbort& abort) {
         // No substrate wait inside the catch (see sihtm_core.hpp).
         rec_abort(tid);
+        obs_abort(tid, abort.cause);
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -161,6 +166,11 @@ class P8tmCore {
 
     sub_.set_inactive();
     sub_.gl_lock();
+    double t_acq = 0;
+    if (const auto* o = sub_.obs()) {
+      t_acq = sub_.obs_now();
+      o->sgl_acquire(tid, t_acq);
+    }
     {
       auto drain = sub_.drain_scope(st);
       for (int c = 0; c < sub_.n_threads(); ++c) {
@@ -169,17 +179,21 @@ class P8tmCore {
         while (sub_.state(c) != kStateInactive) drain.poll();
       }
     }
+    if (const auto* o = sub_.obs()) o->sgl_drain_done(tid, sub_.obs_now());
     Log& log = log_of(tid);
     log.reads.clear();
     log.writes.clear();
     rec_begin(tid, /*ro=*/false);
+    const double ot0 = obs_begin(tid, /*ro=*/false, /*sgl=*/true);
     Tx tx(*this, TxPath::kSgl);
     body(tx);
     // SGL writes are immediately visible; advance versions so optimistic
     // readers that overlapped the drain cannot validate stale reads.
     for (const auto& w : log.writes) versions_.bump(w);
     rec_commit(tid);
+    obs_commit(tid, ot0, static_cast<std::uint32_t>(cfg_.retries + 1));
     sub_.gl_unlock();
+    if (const auto* o = sub_.obs()) o->sgl_release(tid, sub_.obs_now(), t_acq);
     ++st.commits;
     ++st.sgl_commits;
   }
@@ -212,12 +226,21 @@ class P8tmCore {
   }
 
   /// Quiescence + read validation + HTMEnd + version publication.
-  void commit_update(int tid, si::util::ThreadStats& st, Log& log) {
+  void commit_update(int tid, si::util::ThreadStats& st, Log& log,
+                     double obs_t0, int attempts) {
+    if (const auto* o = sub_.obs()) o->suspend(tid, sub_.obs_now());
     sub_.publish_completed();
+    if (const auto* o = sub_.obs()) o->resume(tid, sub_.obs_now());
 
     std::uint64_t snapshot[si::p8::kMaxThreads];
     sub_.snapshot_states(snapshot);
+    int n_out = 0;
+    for (int c = 0; c < sub_.n_threads(); ++c) {
+      if (c != tid && snapshot[c] > kStateCompleted) ++n_out;
+    }
     {
+      si::obs::WaitSpanGuard<S> wg(sub_, tid,
+                                   static_cast<std::uint32_t>(n_out));
       auto ws = sub_.wait_scope(st);
       for (int c = 0; c < sub_.n_threads(); ++c) {
         if (c == tid || snapshot[c] <= kStateCompleted) continue;
@@ -227,6 +250,7 @@ class P8tmCore {
           ws.tick();
           ws.poll();
         }
+        wg.straggler_retired(c);
       }
     }
 
@@ -255,6 +279,7 @@ class P8tmCore {
     }
     sub_.hw_commit();  // HTMEnd
     rec_commit(tid);
+    obs_commit(tid, obs_t0, static_cast<std::uint32_t>(attempts));
     sub_.set_inactive();
   }
 
@@ -266,6 +291,21 @@ class P8tmCore {
   }
   void rec_abort(int tid) {
     if (auto* r = sub_.recorder()) r->abort(tid, sub_.rec_now());
+  }
+
+  double obs_begin(int tid, bool ro, bool sgl = false) {
+    if (const auto* o = sub_.obs()) {
+      const double now = sub_.obs_now();
+      o->tx_begin(tid, now, ro, sgl);
+      return now;
+    }
+    return 0;
+  }
+  void obs_commit(int tid, double t0, std::uint32_t attempts) {
+    if (const auto* o = sub_.obs()) o->tx_commit(tid, sub_.obs_now(), t0, attempts);
+  }
+  void obs_abort(int tid, si::util::AbortCause cause) {
+    if (const auto* o = sub_.obs()) o->tx_abort(tid, sub_.obs_now(), cause);
   }
 
   S& sub_;

@@ -44,6 +44,10 @@ struct RealSubstrateConfig {
   /// real threads the stamp and the access are separate instructions, so
   /// multi-threaded histories are diagnostic, single-threaded ones exact.
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp). Default-disabled; the
+  /// instrumentation sites then cost one branch each.
+  si::obs::ObsConfig obs{};
 };
 
 class RealSubstrate {
@@ -54,6 +58,9 @@ class RealSubstrate {
         state_(cfg.max_threads),
         stats_(static_cast<std::size_t>(cfg.max_threads)) {
     assert(cfg.max_threads <= si::p8::kMaxThreads);
+    // The emulation emits its own hw-rollback / hw-kill trace events at the
+    // instant they happen (the cores only observe them later, as TxAbort).
+    rt_.set_tracer(cfg_.obs.tracer);
   }
 
   /// Binds the calling thread to slot `tid` of the state array.
@@ -68,6 +75,10 @@ class RealSubstrate {
   }
   si::check::HistoryRecorder* recorder() const { return cfg_.recorder; }
   double rec_now() const { return 0.0; }  // real events carry no timestamp
+  const si::obs::ObsConfig* obs() const {
+    return cfg_.obs.enabled() ? &cfg_.obs : nullptr;
+  }
+  double obs_now() const { return si::obs::wall_ns(); }
 
   // --- hardware transactions ----------------------------------------------
 

@@ -22,6 +22,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/topology.hpp"
 #include "protocol/substrate.hpp"
@@ -99,9 +100,11 @@ class SiHtmCore {
     if (is_ro) {
       if constexpr (SafetyWait) sync_with_gl();  // announces an active timestamp
       rec_begin(tid, /*ro=*/true);
+      const double ot0 = obs_begin(tid, /*ro=*/true);
       Tx tx(sub_, TxPath::kReadOnly);
       body(tx);
       rec_commit(tid);
+      obs_commit(tid, ot0, /*attempts=*/1);
       if constexpr (SafetyWait) {
         // TxEndExt, RO branch: all reads precede the state change (lwsync).
         sub_.release_inactive();
@@ -117,6 +120,7 @@ class SiHtmCore {
       if constexpr (SafetyWait) sync_with_gl();
       sub_.pre_begin(HwMode::kRot);
       rec_begin(tid, /*ro=*/false);
+      const double ot0 = obs_begin(tid, /*ro=*/false);
       sub_.hw_begin(HwMode::kRot);
       bool committed = true;
       si::util::AbortCause cause = si::util::AbortCause::kNone;
@@ -124,10 +128,11 @@ class SiHtmCore {
         Tx tx(sub_, TxPath::kRot);
         body(tx);
         if constexpr (SafetyWait) {
-          tx_end(tid, st);
+          tx_end(tid, st, ot0, attempt + 1);
         } else {
           sub_.hw_commit();  // no safety wait: straight HTMEnd
           rec_commit(tid);
+          obs_commit(tid, ot0, static_cast<std::uint32_t>(attempt + 1));
         }
       } catch (const si::p8::TxAbort& abort) {
         // NOTE: no substrate wait inside the catch — an active exception
@@ -135,6 +140,7 @@ class SiHtmCore {
         // interleave the thread's __cxa exception stack in non-LIFO order
         // (DESIGN.md section 5b).
         rec_abort(tid);
+        obs_abort(tid, abort.cause);
         st.record_abort(abort.cause);
         committed = false;
         cause = abort.cause;
@@ -158,6 +164,11 @@ class SiHtmCore {
       // data.
       sub_.set_inactive();
       sub_.gl_lock();
+      double t_acq = 0;
+      if (const auto* o = sub_.obs()) {
+        t_acq = sub_.obs_now();
+        o->sgl_acquire(tid, t_acq);
+      }
       {
         auto drain = sub_.drain_scope(st);
         for (int c = 0; c < sub_.n_threads(); ++c) {
@@ -166,11 +177,15 @@ class SiHtmCore {
           while (sub_.state(c) != kStateInactive) drain.poll();
         }
       }
+      if (const auto* o = sub_.obs()) o->sgl_drain_done(tid, sub_.obs_now());
       rec_begin(tid, /*ro=*/false);
+      const double ot0 = obs_begin(tid, /*ro=*/false, /*sgl=*/true);
       Tx tx(sub_, TxPath::kSgl);
       body(tx);
       rec_commit(tid);
+      obs_commit(tid, ot0, static_cast<std::uint32_t>(cfg_.retries + 1));
       sub_.gl_unlock();
+      if (const auto* o = sub_.obs()) o->sgl_release(tid, sub_.obs_now(), t_acq);
       ++st.commits;
       ++st.sgl_commits;
     }
@@ -207,8 +222,10 @@ class SiHtmCore {
   /// dropped from the rotation immediately instead of blocking the scan
   /// behind a slower predecessor. Backoff (ws.poll) escalates only across
   /// full rotations that made no progress.
-  void tx_end(int tid, si::util::ThreadStats& st) {
+  void tx_end(int tid, si::util::ThreadStats& st, double obs_t0, int attempts) {
+    if (const auto* o = sub_.obs()) o->suspend(tid, sub_.obs_now());
     sub_.publish_completed();  // throws if a conflict hit us while suspended
+    if (const auto* o = sub_.obs()) o->resume(tid, sub_.obs_now());
 
     std::uint64_t snapshot[si::p8::kMaxThreads];
     sub_.snapshot_states(snapshot);
@@ -218,10 +235,18 @@ class SiHtmCore {
     for (int c = 0; c < sub_.n_threads(); ++c) {
       if (c != tid && snapshot[c] > kStateCompleted) outstanding[n_out++] = c;
     }
-    if (n_out > 0) wait_for_stragglers(snapshot, outstanding, n_out, st);
+    {
+      // Spans the whole quiescence phase, even with zero stragglers (the
+      // zero-length span is what shows the wait was *checked*); the guard's
+      // destructor closes the span if check_killed aborts out of the wait.
+      si::obs::WaitSpanGuard<S> wg(sub_, tid,
+                                   static_cast<std::uint32_t>(n_out));
+      if (n_out > 0) wait_for_stragglers(snapshot, outstanding, n_out, st, wg);
+    }
 
     sub_.hw_commit();  // HTMEnd
     rec_commit(tid);
+    obs_commit(tid, obs_t0, static_cast<std::uint32_t>(attempts));
     sub_.set_inactive();
   }
 
@@ -229,7 +254,8 @@ class SiHtmCore {
   /// in `snapshot`. One straggler guard per slot, created when the wait
   /// starts, preserves the per-straggler killing policy.
   void wait_for_stragglers(const std::uint64_t* snapshot, int* outstanding,
-                           int n_out, si::util::ThreadStats& st) {
+                           int n_out, si::util::ThreadStats& st,
+                           const si::obs::WaitSpanGuard<S>& wg) {
     using Guard = decltype(sub_.straggler_guard());
     std::optional<Guard> guards[si::p8::kMaxThreads];
     if (sub_.straggler_guard().armed()) {
@@ -242,6 +268,7 @@ class SiHtmCore {
       for (int i = 0; i < n_out;) {
         const int c = outstanding[i];
         if (sub_.state(c) != snapshot[c]) {  // straggler retired
+          wg.straggler_retired(c);
           outstanding[i] = outstanding[n_out - 1];
           if (guards[n_out - 1]) guards[i].emplace(*guards[n_out - 1]);
           guards[n_out - 1].reset();
@@ -279,6 +306,23 @@ class SiHtmCore {
   }
   void rec_abort(int tid) {
     if (auto* r = sub_.recorder()) r->abort(tid, sub_.rec_now());
+  }
+
+  /// Returns the attempt's begin timestamp (0 when tracing is off) for the
+  /// later commit-latency measurement.
+  double obs_begin(int tid, bool ro, bool sgl = false) {
+    if (const auto* o = sub_.obs()) {
+      const double now = sub_.obs_now();
+      o->tx_begin(tid, now, ro, sgl);
+      return now;
+    }
+    return 0;
+  }
+  void obs_commit(int tid, double t0, std::uint32_t attempts) {
+    if (const auto* o = sub_.obs()) o->tx_commit(tid, sub_.obs_now(), t0, attempts);
+  }
+  void obs_abort(int tid, si::util::AbortCause cause) {
+    if (const auto* o = sub_.obs()) o->tx_abort(tid, sub_.obs_now(), cause);
   }
 
   S& sub_;

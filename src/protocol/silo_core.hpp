@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "baselines/version_table.hpp"
+#include "obs/obs.hpp"
 #include "p8htm/abort.hpp"
 #include "protocol/substrate.hpp"
 #include "util/cacheline.hpp"
@@ -163,6 +164,11 @@ class SiloCore {
     for (int attempt = 0;; ++attempt) {
       ctx.reset();
       if (auto* r = sub_.recorder()) r->begin(tid, /*ro=*/false, sub_.rec_now());
+      double ot0 = 0;
+      if (const auto* o = sub_.obs()) {
+        ot0 = sub_.obs_now();
+        o->tx_begin(tid, ot0, /*ro=*/false);
+      }
       bool ok = true;
       try {
         Tx tx(*this);
@@ -172,11 +178,18 @@ class SiloCore {
         ok = false;
       }
       if (ok && try_commit(ctx)) {
+        if (const auto* o = sub_.obs()) {
+          o->tx_commit(tid, sub_.obs_now(), ot0,
+                       static_cast<std::uint32_t>(attempt + 1));
+        }
         ++st.commits;
         if (ctx.writes.empty()) ++st.ro_commits;
         return;
       }
       if (auto* r = sub_.recorder()) r->abort(tid, sub_.rec_now());
+      if (const auto* o = sub_.obs()) {
+        o->tx_abort(tid, sub_.obs_now(), si::util::AbortCause::kConflictRead);
+      }
       st.record_abort(si::util::AbortCause::kConflictRead);
       sub_.abort_backoff(attempt);
     }

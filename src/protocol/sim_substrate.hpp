@@ -32,6 +32,12 @@ struct SimSubstrateConfig {
   /// multi-threaded sim histories are exact (no wait point separates an
   /// access from its stamp).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp), stamped with virtual
+  /// time — which makes same-seed sim traces byte-identical. The hooks are
+  /// pure bookkeeping (no eng_.wait), so enabling them cannot perturb the
+  /// schedule.
+  si::obs::ObsConfig obs{};
 };
 
 class SimSubstrate {
@@ -41,7 +47,11 @@ class SimSubstrate {
         cfg_(cfg),
         states_(static_cast<std::size_t>(eng.threads()), kStateInactive),
         subscribed_(static_cast<std::size_t>(eng.threads()), 0),
-        jitter_(eng.threads()) {}
+        jitter_(eng.threads()) {
+    // Mirror of RealSubstrate: the engine emits hw-rollback / hw-kill trace
+    // events itself, so both substrates yield the same event taxonomy.
+    eng_.set_tracer(cfg_.obs.tracer);
+  }
 
   // --- identity / bookkeeping ---------------------------------------------
 
@@ -50,6 +60,10 @@ class SimSubstrate {
   si::util::ThreadStats& stats(int t) { return eng_.stats(t); }
   si::check::HistoryRecorder* recorder() const { return cfg_.recorder; }
   double rec_now() const { return eng_.now(); }
+  const si::obs::ObsConfig* obs() const {
+    return cfg_.obs.enabled() ? &cfg_.obs : nullptr;
+  }
+  double obs_now() const { return eng_.now(); }
 
   // --- hardware transactions ----------------------------------------------
 

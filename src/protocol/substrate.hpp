@@ -33,6 +33,10 @@
 //    s.stats(t)                   mutable per-thread counters
 //    s.recorder()                 HistoryRecorder* or nullptr
 //    s.rec_now()                  event timestamp (0.0 real, virtual ns sim)
+//    s.obs()                      observability sinks (obs/obs.hpp) or null
+//    s.obs_now()                  trace timestamp in ns (monotonic wall clock
+//                                 real, virtual time sim); cores only call it
+//                                 when s.obs() is non-null
 //
 //  hardware transactions (tbegin./tbegin.ROT/tend. of the paper)
 //    s.pre_begin(mode)            begin-latency charge, before the recorder
@@ -92,6 +96,7 @@
 #include <cstdint>
 
 #include "check/history.hpp"
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace si::protocol {
@@ -122,6 +127,8 @@ concept Substrate = requires(S s, int t, std::uint64_t ts, void* dst,
   { s.stats(t) } -> std::same_as<si::util::ThreadStats&>;
   { s.recorder() } -> std::same_as<si::check::HistoryRecorder*>;
   { s.rec_now() } -> std::convertible_to<double>;
+  { s.obs() } -> std::same_as<const si::obs::ObsConfig*>;
+  { s.obs_now() } -> std::convertible_to<double>;
 
   s.pre_begin(HwMode::kRot);
   s.hw_begin(HwMode::kRot);

@@ -15,6 +15,18 @@
 
 namespace si::runtime {
 
+/// Clears per-phase counters a backend keeps outside its ThreadStats. Today
+/// that is the HTM emulation's fast-path telemetry: without this, a warm-up
+/// phase's hits leak into the measured phase's hit rates. Backends without
+/// an htm() accessor (Silo, sim glue) are a no-op.
+template <typename CC>
+void reset_phase_counters(CC& cc) {
+  for (auto& st : cc.thread_stats()) st = si::util::ThreadStats{};
+  if constexpr (requires { cc.htm().reset_fast_path_stats(); }) {
+    cc.htm().reset_fast_path_stats();
+  }
+}
+
 /// Context handed to each worker: its thread id and the shared stop flag
 /// (set when a timed run's deadline passes).
 struct WorkerContext {
@@ -70,7 +82,7 @@ double run_threads(int n_threads, std::chrono::nanoseconds duration, Setup&& set
 template <typename CC, typename OpFn>
 si::util::RunStats run_timed(CC& cc, int n_threads, std::chrono::nanoseconds duration,
                              OpFn&& op) {
-  for (auto& st : cc.thread_stats()) st = si::util::ThreadStats{};
+  reset_phase_counters(cc);
   const double secs = run_threads(
       n_threads, duration, [&](int tid) { cc.register_thread(tid); },
       [&](WorkerContext ctx) {
@@ -84,7 +96,7 @@ si::util::RunStats run_timed(CC& cc, int n_threads, std::chrono::nanoseconds dur
 template <typename CC, typename OpFn>
 si::util::RunStats run_fixed_ops(CC& cc, int n_threads, std::uint64_t ops_per_thread,
                                  OpFn&& op) {
-  for (auto& st : cc.thread_stats()) st = si::util::ThreadStats{};
+  reset_phase_counters(cc);
   const double secs = run_threads(
       n_threads, std::chrono::nanoseconds{0},
       [&](int tid) { cc.register_thread(tid); },

@@ -17,6 +17,7 @@
 #include "baselines/raw_rot.hpp"
 #include "baselines/silo.hpp"
 #include "check/history.hpp"
+#include "obs/obs.hpp"
 #include "sihtm/sihtm.hpp"
 #include "util/stats.hpp"
 
@@ -37,6 +38,9 @@ struct RuntimeConfig {
 
   /// Forwarded to the selected backend's config (null: recording off).
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Forwarded to the selected backend's config (empty: tracing off).
+  si::obs::ObsConfig obs{};
 };
 
 class Runtime {
@@ -46,25 +50,27 @@ class Runtime {
       case Backend::kHtm:
         htm_ = std::make_unique<si::baselines::HtmSgl>(si::baselines::HtmSglConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder});
+            .recorder = cfg.recorder, .obs = cfg.obs});
         break;
       case Backend::kSiHtm:
         sihtm_ = std::make_unique<si::sihtm::SiHtm>(si::sihtm::SiHtmConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder});
+            .recorder = cfg.recorder, .obs = cfg.obs});
         break;
       case Backend::kP8tm:
         p8tm_ = std::make_unique<si::baselines::P8tm>(si::baselines::P8tmConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder});
+            .recorder = cfg.recorder, .obs = cfg.obs});
         break;
       case Backend::kSilo:
         silo_ = std::make_unique<si::baselines::Silo>(si::baselines::SiloConfig{
-            .max_threads = cfg.max_threads, .recorder = cfg.recorder});
+            .max_threads = cfg.max_threads, .recorder = cfg.recorder,
+            .obs = cfg.obs});
         break;
       case Backend::kRawRot:
         raw_rot_ = std::make_unique<si::baselines::RawRot>(si::baselines::RawRotConfig{
-            .htm = cfg.htm, .max_threads = cfg.max_threads, .recorder = cfg.recorder});
+            .htm = cfg.htm, .max_threads = cfg.max_threads,
+            .recorder = cfg.recorder, .obs = cfg.obs});
         break;
     }
   }

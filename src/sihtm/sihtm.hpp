@@ -33,6 +33,9 @@ struct SiHtmConfig {
   /// real threads the stamp and the access are separate instructions, so
   /// multi-threaded histories are diagnostic, single-threaded ones exact.
   si::check::HistoryRecorder* recorder = nullptr;
+
+  /// Optional tracing/metrics sinks (obs/obs.hpp); see DESIGN.md section 8.
+  si::obs::ObsConfig obs{};
 };
 
 /// Per-attempt handle passed to transaction bodies (`path()` reports
@@ -43,7 +46,8 @@ class SiHtm {
  public:
   explicit SiHtm(SiHtmConfig cfg = {})
       : cfg_(cfg),
-        sub_({cfg.htm, cfg.max_threads, cfg.straggler_kill_spins, cfg.recorder}),
+        sub_({cfg.htm, cfg.max_threads, cfg.straggler_kill_spins, cfg.recorder,
+              cfg.obs}),
         core_(sub_, {cfg.retries}) {}
 
   /// Binds the calling thread to slot `tid` of the state array.

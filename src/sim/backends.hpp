@@ -35,8 +35,10 @@ class SimSiHtm {
   /// than the threshold on one straggler kills its hardware transaction.
   explicit SimSiHtm(SimEngine& eng, int retries = 10,
                     double straggler_kill_after_ns = 0,
-                    si::check::HistoryRecorder* rec = nullptr)
-      : sub_(eng, {straggler_kill_after_ns, rec}), core_(sub_, {retries}) {}
+                    si::check::HistoryRecorder* rec = nullptr,
+                    si::obs::ObsConfig obs = {})
+      : sub_(eng, {straggler_kill_after_ns, rec, obs}),
+        core_(sub_, {retries}) {}
 
   template <typename Body>
   void execute(bool is_ro, Body&& body) {
@@ -61,8 +63,9 @@ using SimHtmSglTx = si::protocol::HtmSglCore<si::protocol::SimSubstrate>::Tx;
 class SimHtmSgl {
  public:
   explicit SimHtmSgl(SimEngine& eng, int retries = 10,
-                     si::check::HistoryRecorder* rec = nullptr)
-      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+                     si::check::HistoryRecorder* rec = nullptr,
+                     si::obs::ObsConfig obs = {})
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs}),
         core_(sub_, {retries}) {}
 
   template <typename Body>
@@ -88,8 +91,9 @@ using SimP8tmTx = si::protocol::P8tmCore<si::protocol::SimSubstrate>::Tx;
 class SimP8tm {
  public:
   explicit SimP8tm(SimEngine& eng, int retries = 10,
-                   si::check::HistoryRecorder* rec = nullptr)
-      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+                   si::check::HistoryRecorder* rec = nullptr,
+                   si::obs::ObsConfig obs = {})
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs}),
         core_(sub_, {retries, /*version_table_bits=*/20}) {}
 
   template <typename Body>
@@ -114,8 +118,9 @@ using SimSiloTx = si::protocol::SiloCore<si::protocol::SimSubstrate>::Tx;
 
 class SimSilo {
  public:
-  explicit SimSilo(SimEngine& eng, si::check::HistoryRecorder* rec = nullptr)
-      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+  explicit SimSilo(SimEngine& eng, si::check::HistoryRecorder* rec = nullptr,
+                   si::obs::ObsConfig obs = {})
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs}),
         // 64-spin read bound: in virtual time each spin costs a full
         // quiesce_poll, so the old sim bound is kept rather than the
         // real-thread default.
@@ -146,8 +151,9 @@ class SimRawRot {
   /// `retries` is accepted for signature parity with the other backends but
   /// ignored: raw-ROT has no SGL fall-back and retries forever.
   explicit SimRawRot(SimEngine& eng, int retries = 10,
-                     si::check::HistoryRecorder* rec = nullptr)
-      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec}),
+                     si::check::HistoryRecorder* rec = nullptr,
+                     si::obs::ObsConfig obs = {})
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs}),
         core_(sub_, {retries}) {}
 
   template <typename Body>

@@ -102,7 +102,14 @@ void SimEngine::self_abort(AbortCause cause) { abort_now(desc(), cause); }
 
 void SimEngine::flag_kill(int victim, AbortCause cause) {
   SimTxDesc& v = descs_[static_cast<std::size_t>(victim)];
-  if (v.killed == AbortCause::kNone) v.killed = cause;
+  if (v.killed != AbortCause::kNone) return;
+  v.killed = cause;
+  // Same convention as HtmRuntime::flag_kill: the kill instant belongs to
+  // the killer's timeline, with the victim in the arg.
+  if (tracer_) {
+    tracer_->emit(current_tid(), si::obs::TraceEventKind::kHwKill, clock_,
+                  static_cast<std::uint32_t>(victim));
+  }
 }
 
 void SimEngine::rollback(SimTxDesc& d, int tid) {
@@ -148,6 +155,11 @@ void SimEngine::abort_now(SimTxDesc& d, AbortCause cause) {
   rollback(d, current_tid());
   d.mode = SimTxMode::kNone;
   d.killed = AbortCause::kNone;
+  if (tracer_) {
+    tracer_->emit(current_tid(), si::obs::TraceEventKind::kHwRollback, clock_,
+                  (static_cast<std::uint32_t>(cause) << 16) |
+                      static_cast<std::uint32_t>(current_tid()));
+  }
   throw TxAbort{cause};
 }
 

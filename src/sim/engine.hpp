@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
 #include "p8htm/owned_cache.hpp"
@@ -113,6 +114,13 @@ class SimEngine {
     return stats_[static_cast<std::size_t>(tid)];
   }
   std::vector<si::util::ThreadStats>& thread_stats() { return stats_; }
+
+  /// Attaches a lifecycle tracer (obs/trace.hpp) or detaches with nullptr.
+  /// Mirrors HtmRuntime::set_tracer: kHwRollback at the rollback instant,
+  /// kHwKill when a kill is initiated, both stamped with virtual time and
+  /// emitted into the calling fiber's ring — so real and sim runs of the
+  /// same workload produce the same event taxonomy.
+  void set_tracer(si::obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Runs `step(tid)` in a loop on every simulated thread until the virtual
   /// deadline, then drains in-flight work. Returns the aggregated stats with
@@ -221,6 +229,7 @@ class SimEngine {
   std::vector<std::int64_t> tmcam_used_;
   std::vector<LvdirState> lvdir_;
   std::vector<si::util::ThreadStats> stats_;
+  si::obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace si::sim

@@ -46,6 +46,10 @@ constexpr AbortClass classify(AbortCause cause) noexcept {
     case AbortCause::kCapacity:
       return AbortClass::kCapacity;
     case AbortCause::kKilledBySgl:
+    // A straggler kill is an induced abort like an SGL kill — the victim did
+    // nothing transactionally wrong — so it belongs with the paper's
+    // "non-transactional" class, not the conflict class.
+    case AbortCause::kKilledAsStraggler:
       return AbortClass::kNonTransactional;
     default:
       return AbortClass::kTransactional;
@@ -73,6 +77,10 @@ struct FastPathStats {
     lock_acquisitions += other.lock_acquisitions;
     return *this;
   }
+
+  /// Zeroes the counters at a phase boundary (warm-up vs measured run), so
+  /// hit rates describe one phase instead of the process lifetime.
+  void reset() noexcept { *this = FastPathStats{}; }
 };
 
 /// Per-thread counters; aggregated (summed) across threads at the end of a

@@ -22,6 +22,9 @@
 #include "baselines/silo.hpp"
 #include "check/history.hpp"
 #include "check/verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sihtm/sihtm.hpp"
 #include "sim/backends.hpp"
 #include "sim/engine.hpp"
@@ -218,6 +221,43 @@ TEST_P(EquivalenceTest, SiHtmFastPathToggle) {
   expect_equivalent(fast, slow);
   EXPECT_GT(fast.stats.fast_path.hits, 0u);
   EXPECT_EQ(slow.stats.fast_path.hits, 0u);
+}
+
+TEST_P(EquivalenceTest, SiHtmTracingOnOff) {
+  // Obs hooks are pure bookkeeping (they never wait or branch the protocol),
+  // so attaching a tracer and metrics must not change commits, abort causes
+  // or final memory — on either substrate.
+  const auto script = make_script(GetParam(), /*with_capacity_stress=*/true);
+
+  si::obs::Tracer tracer(8);
+  si::obs::Metrics metrics(8);
+  const si::obs::ObsConfig obs{&tracer, &metrics};
+  const auto traced = run_real<si::sihtm::SiHtm>(script, [&](auto& rec) {
+    return si::sihtm::SiHtm({.max_threads = 8, .recorder = &rec, .obs = obs});
+  });
+  const auto plain = run_real<si::sihtm::SiHtm>(script, [](auto& rec) {
+    return si::sihtm::SiHtm({.max_threads = 8, .recorder = &rec});
+  });
+  expect_equivalent(traced, plain);
+  if (si::obs::kTraceEnabled) {  // stubs record nothing under SI_TRACE=0
+    EXPECT_GT(tracer.emitted(0), 0u);
+    EXPECT_EQ(metrics.snapshot().commit_latency.count(), traced.stats.commits);
+  }
+
+  si::obs::Tracer sim_tracer(1);
+  const auto sim_traced =
+      run_sim<si::sim::SimSiHtm>(script, [&](auto& eng, auto& rec) {
+        return si::sim::SimSiHtm(eng, /*retries=*/10,
+                                 /*straggler_kill_after_ns=*/0, &rec,
+                                 si::obs::ObsConfig{&sim_tracer, nullptr});
+      });
+  const auto sim_plain =
+      run_sim<si::sim::SimSiHtm>(script, [](auto& eng, auto& rec) {
+        return si::sim::SimSiHtm(eng, /*retries=*/10,
+                                 /*straggler_kill_after_ns=*/0, &rec);
+      });
+  expect_equivalent(sim_traced, sim_plain);
+  if (si::obs::kTraceEnabled) EXPECT_GT(sim_tracer.emitted(0), 0u);
 }
 
 TEST_P(EquivalenceTest, HtmSgl) {

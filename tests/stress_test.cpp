@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "p8htm/htm.hpp"
 #include "sihtm/sihtm.hpp"
 #include "util/backoff.hpp"
@@ -273,6 +276,123 @@ TEST(StressMixed, SiHtmSurvivesAdversarialMixAndStaysConsistent) {
   std::uint64_t total = 0;
   for (auto& c : cells) total += c.v;
   EXPECT_EQ(total, kInitial * kCells);
+}
+
+TEST(StressObs, ConcurrentEmittersWithMidRunCounterReads) {
+  // The tracer's thread-safety claim: emitters never share a slot (each owns
+  // its ring) and the cursor is safe to read from any thread mid-run. Hammer
+  // both sides at once — under TSan this is the proof.
+  if (!si::obs::kTraceEnabled) GTEST_SKIP() << "built with SI_TRACE=0";
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kEvents = 20000;
+  si::obs::Tracer tracer(kThreads, 1u << 8);  // small ring: constant wrapping
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kEvents; ++i) {
+        tracer.emit(t, si::obs::TraceEventKind::kBegin, static_cast<double>(i));
+        tracer.emit(t, si::obs::TraceEventKind::kCommit,
+                    static_cast<double>(i) + 0.5, 1);
+      }
+    });
+  }
+  std::thread reader([&] {
+    std::uint64_t sum = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int t = 0; t < kThreads; ++t) {
+        sum += tracer.emitted(t) + tracer.dropped(t);
+      }
+    }
+    EXPECT_GT(sum, 0u);
+  });
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  reader.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(tracer.emitted(t), 2 * kEvents);
+    EXPECT_EQ(tracer.dropped(t), 2 * kEvents - tracer.capacity());
+    const auto recs = tracer.drain(t);
+    EXPECT_EQ(recs.size(), tracer.capacity());
+    for (const auto& r : recs) EXPECT_EQ(r.tid, t);
+  }
+}
+
+TEST(StressObs, TracedAdversarialMixStaysBalanced) {
+  // Full-stack version: obs attached to a real SiHtm run with kills,
+  // capacity overflows and SGL fallbacks. Every drained ring must hold
+  // balanced attempt brackets (begin / commit-or-abort alternation) and the
+  // metrics commit count must match the backend's own statistics.
+  if (!si::obs::kTraceEnabled) GTEST_SKIP() << "built with SI_TRACE=0";
+  constexpr int kThreads = 4;
+  si::obs::Tracer tracer(kThreads);
+  si::obs::Metrics metrics(kThreads);
+  si::sihtm::SiHtmConfig cfg;
+  cfg.max_threads = kThreads;
+  cfg.retries = 3;
+  cfg.obs = si::obs::ObsConfig{&tracer, &metrics};
+  si::sihtm::SiHtm cc(cfg);
+  std::vector<Cell> cells(8);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      cc.register_thread(t);
+      si::util::Xoshiro256 rng(900 + t);
+      for (int i = 0; i < 300; ++i) {
+        if (rng.percent(40)) {
+          std::uint64_t sum = 0;
+          cc.execute(true, [&](auto& tx) {
+            sum = 0;
+            for (auto& c : cells) sum += tx.read(&c.v);
+          });
+        } else if (rng.percent(10)) {  // oversized: forces the SGL path
+          Cell scratch[70];
+          cc.execute(false, [&](auto& tx) {
+            for (auto& s : scratch) tx.write(&s.v, std::uint64_t{1});
+          });
+        } else {
+          const auto a = rng.below(cells.size());
+          cc.execute(false, [&](auto& tx) {
+            tx.write(&cells[a].v, tx.read(&cells[a].v) + 1);
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::uint64_t traced_commits = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    bool open = false;
+    for (const auto& r : tracer.drain(t)) {
+      switch (r.kind) {
+        case si::obs::TraceEventKind::kBegin:
+          EXPECT_FALSE(open) << "tid " << t << ": begin inside open attempt";
+          open = true;
+          break;
+        case si::obs::TraceEventKind::kCommit:
+          EXPECT_TRUE(open);
+          open = false;
+          ++traced_commits;
+          break;
+        case si::obs::TraceEventKind::kAbort:
+          EXPECT_TRUE(open);
+          open = false;
+          break;
+        default:
+          break;
+      }
+    }
+    EXPECT_FALSE(open) << "tid " << t << ": attempt left open";
+    EXPECT_EQ(tracer.dropped(t), 0u);
+  }
+  std::uint64_t commits = 0;
+  for (const auto& st : cc.thread_stats()) commits += st.commits;
+  EXPECT_EQ(traced_commits, commits);
+  EXPECT_EQ(metrics.snapshot().commit_latency.count(), commits);
 }
 
 }  // namespace

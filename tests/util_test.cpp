@@ -157,6 +157,10 @@ TEST(StatsTest, ClassifyMatchesPaperTaxonomy) {
   EXPECT_EQ(classify(AbortCause::kExplicit), AbortClass::kTransactional);
   EXPECT_EQ(classify(AbortCause::kCapacity), AbortClass::kCapacity);
   EXPECT_EQ(classify(AbortCause::kKilledBySgl), AbortClass::kNonTransactional);
+  // Killed *by* a completed transaction, not a transactional conflict of the
+  // victim's own making: paper section 4.1 counts it as non-transactional.
+  EXPECT_EQ(classify(AbortCause::kKilledAsStraggler),
+            AbortClass::kNonTransactional);
 }
 
 TEST(StatsTest, AggregateSumsThreads) {
