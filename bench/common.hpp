@@ -30,6 +30,19 @@
 
 namespace si::bench {
 
+// Run provenance baked in at configure time (root CMakeLists.txt); "unknown"
+// when building outside CMake or a git checkout.
+#ifdef SI_GIT_SHA
+inline constexpr const char* kGitSha = SI_GIT_SHA;
+#else
+inline constexpr const char* kGitSha = "unknown";
+#endif
+#ifdef SI_BUILD_TYPE
+inline constexpr const char* kBuildType = SI_BUILD_TYPE;
+#else
+inline constexpr const char* kBuildType = "unknown";
+#endif
+
 enum class System { kHtm, kSiHtm, kP8tm, kSilo };
 
 /// Interactive progress marker; suppressed when stderr is redirected so
@@ -80,6 +93,8 @@ struct BenchRecord {
   double fast_path_hit_rate = -1.0;  ///< emulation fast path; <0 = not measured
   double safety_wait_p50_ns = -1.0;  ///< obs metrics; <0 = not measured
   double safety_wait_p99_ns = -1.0;
+  double req_latency_p50_ns = -1.0;  ///< serve layer; <0 = not a serving run
+  double req_latency_p99_ns = -1.0;
 };
 
 /// Collects BenchRecords and writes them as a `si-bench-v1` JSON document.
@@ -96,6 +111,10 @@ class JsonSink {
   }
 
   bool enabled() const noexcept { return !path_.empty(); }
+
+  /// Provenance backend tag; figure sweeps that run several systems keep the
+  /// default "mixed" (each record still names its system).
+  void set_backend(std::string backend) { backend_ = std::move(backend); }
 
   void add(BenchRecord rec) {
     if (enabled()) records_.push_back(std::move(rec));
@@ -124,6 +143,12 @@ class JsonSink {
       // -1 (metrics off) means "not measured". --compare needs the difference.
       rec.safety_wait_p50_ns = static_cast<double>(m->safety_wait_p50_ns());
       rec.safety_wait_p99_ns = static_cast<double>(m->safety_wait_p99_ns());
+      if (m->request_latency.count() > 0) {
+        rec.req_latency_p50_ns =
+            static_cast<double>(m->request_latency_p50_ns());
+        rec.req_latency_p99_ns =
+            static_cast<double>(m->request_latency_p99_ns());
+      }
     }
     records_.push_back(std::move(rec));
   }
@@ -143,6 +168,15 @@ class JsonSink {
     w.value("si-bench-v1");
     w.key("bench");
     w.value(bench_);
+    w.key("provenance");
+    w.begin_object();
+    w.key("sha");
+    w.value(kGitSha);
+    w.key("build_type");
+    w.value(kBuildType);
+    w.key("backend");
+    w.value(backend_);
+    w.end_object();
     w.key("records");
     w.begin_array();
     for (const auto& r : records_) {
@@ -175,6 +209,12 @@ class JsonSink {
         w.key("safety_wait_p99_ns");
         w.value(r.safety_wait_p99_ns);
       }
+      if (r.req_latency_p50_ns >= 0) {
+        w.key("req_latency_p50_ns");
+        w.value(r.req_latency_p50_ns);
+        w.key("req_latency_p99_ns");
+        w.value(r.req_latency_p99_ns);
+      }
       w.end_object();
     }
     w.end_array();
@@ -185,6 +225,7 @@ class JsonSink {
  private:
   std::string path_;
   std::string bench_;
+  std::string backend_ = "mixed";
   std::vector<BenchRecord> records_;
 };
 

@@ -92,6 +92,9 @@ def parse_json(doc):
         if "safety_wait_p50_ns" in rec:
             row["safety_wait_p50_ns"] = rec["safety_wait_p50_ns"]
             row["safety_wait_p99_ns"] = rec.get("safety_wait_p99_ns", 0.0)
+        if "req_latency_p50_ns" in rec:
+            row["req_latency_p50_ns"] = rec["req_latency_p50_ns"]
+            row["req_latency_p99_ns"] = rec.get("req_latency_p99_ns", 0.0)
         yield row
 
 
@@ -103,14 +106,35 @@ def fmt_delta(a, b):
     return "   n/a" if a == 0 else f"{(b - a) / a * 100:+7.1f}%"
 
 
+def provenance_warning(old_doc, new_doc, old_path, new_path):
+    """Warn when the two results came from different code or build types."""
+    old_prov = old_doc.get("provenance", {})
+    new_prov = new_doc.get("provenance", {})
+    old_sha = old_prov.get("sha", "unknown")
+    new_sha = new_prov.get("sha", "unknown")
+    if old_sha != new_sha:
+        print(f"WARNING: comparing records from different SHAs: "
+              f"{old_path} is {old_sha}, {new_path} is {new_sha}",
+              file=sys.stderr)
+    for field in ("build_type",):
+        a, b = old_prov.get(field, "unknown"), new_prov.get(field, "unknown")
+        if a != b:
+            print(f"WARNING: {field} differs: {old_path} is {a}, "
+                  f"{new_path} is {b}", file=sys.stderr)
+
+
 def compare(old_path, new_path):
-    old = {record_key(r): r for r in load_json(old_path)["records"]}
-    new = {record_key(r): r for r in load_json(new_path)["records"]}
+    old_doc, new_doc = load_json(old_path), load_json(new_path)
+    provenance_warning(old_doc, new_doc, old_path, new_path)
+    old = {record_key(r): r for r in old_doc["records"]}
+    new = {record_key(r): r for r in new_doc["records"]}
 
     shared = [k for k in old if k in new]
     wait_metrics = [
         ("safety_wait_p50_ns", "wait-p50"),
         ("safety_wait_p99_ns", "wait-p99"),
+        ("req_latency_p50_ns", "req-p50"),
+        ("req_latency_p99_ns", "req-p99"),
     ]
     if shared:
         width = max(len(f"{s} {p} x{t}") for s, p, t in shared)

@@ -185,6 +185,12 @@ inline void write_chrome_trace(std::ostream& os, const Tracer& tracer,
         case TraceEventKind::kHwKill:
           instant(w, "hw-kill", tid, r.ts_ns, r.epoch, "victim", r.arg);
           break;
+        case TraceEventKind::kReqDequeue:
+          instant(w, "req-dequeue", tid, r.ts_ns, r.epoch, "depth", r.arg);
+          break;
+        case TraceEventKind::kReqComplete:
+          instant(w, "req-complete", tid, r.ts_ns, r.epoch, "status", r.arg);
+          break;
         default:
           break;
       }

@@ -27,12 +27,20 @@ struct MetricsSnapshot {
   si::util::Histogram commit_latency;  ///< begin→commit of the winning attempt, ns
   si::util::Histogram sgl_hold;        ///< SGL acquire→release, ns
   si::util::Histogram retries;         ///< attempts per committed transaction
+  si::util::Histogram request_latency; ///< serve: enqueue→complete, ns
+  si::util::Histogram queue_depth;     ///< serve: shard depth at each dequeue
 
   std::uint64_t safety_wait_p50_ns() const noexcept {
     return safety_wait.quantile(0.50);
   }
   std::uint64_t safety_wait_p99_ns() const noexcept {
     return safety_wait.quantile(0.99);
+  }
+  std::uint64_t request_latency_p50_ns() const noexcept {
+    return request_latency.quantile(0.50);
+  }
+  std::uint64_t request_latency_p99_ns() const noexcept {
+    return request_latency.quantile(0.99);
   }
 };
 
@@ -42,6 +50,8 @@ struct alignas(128) ThreadMetrics {
   si::util::Histogram commit_latency;
   si::util::Histogram sgl_hold;
   si::util::Histogram retries;
+  si::util::Histogram request_latency;
+  si::util::Histogram queue_depth;
 };
 
 class Metrics {
@@ -69,6 +79,8 @@ class Metrics {
       s.commit_latency.merge(t.commit_latency);
       s.sgl_hold.merge(t.sgl_hold);
       s.retries.merge(t.retries);
+      s.request_latency.merge(t.request_latency);
+      s.queue_depth.merge(t.queue_depth);
     }
     return s;
   }

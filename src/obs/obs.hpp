@@ -94,6 +94,25 @@ struct ObsConfig {
     if (metrics) metrics->of(tid).safety_wait.record(delta_ns(enter_ns, now));
   }
 
+  // --- serving layer (src/serve) --------------------------------------------
+
+  /// A shard worker took a batch; `depth` is the queue depth it saw
+  /// (batch included). One event per batch, not per request.
+  void req_dequeue(int tid, double now, std::uint32_t depth) const noexcept {
+    if (tracer) tracer->emit(tid, TraceEventKind::kReqDequeue, now, depth);
+    if (metrics) metrics->of(tid).queue_depth.record(depth);
+  }
+
+  /// A request completed; `enqueue_ns` is its Service::submit timestamp, so
+  /// the recorded latency covers queueing + execution.
+  void req_complete(int tid, double now, double enqueue_ns,
+                    std::uint32_t status) const noexcept {
+    if (tracer) tracer->emit(tid, TraceEventKind::kReqComplete, now, status);
+    if (metrics) {
+      metrics->of(tid).request_latency.record(delta_ns(enqueue_ns, now));
+    }
+  }
+
   // --- single-global-lock fall-back -----------------------------------------
 
   void sgl_acquire(int tid, double now) const noexcept {

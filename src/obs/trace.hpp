@@ -45,7 +45,10 @@ inline constexpr bool kTraceEnabled = SI_TRACE != 0;
 /// kHw* kinds come from the execution layer itself (src/p8htm on real
 /// threads, src/sim in the simulator) and mark the instant a hardware
 /// transaction's rollback happened / a kill was initiated — which the cores
-/// only discover later, at their next poll point.
+/// only discover later, at their next poll point. The kReq* kinds come from
+/// the serving layer (src/serve): its shard workers own the same tid slots
+/// as the backend threads they run on, so request events interleave with the
+/// transaction lifecycle of the work they caused.
 enum class TraceEventKind : std::uint8_t {
   kBegin = 0,          ///< attempt starts; arg: TxStartInfo bits
   kSuspend,            ///< hardware transaction suspended (publish window)
@@ -59,6 +62,8 @@ enum class TraceEventKind : std::uint8_t {
   kSglDrainDone,       ///< SGL holder finished draining in-flight tx
   kHwRollback,         ///< execution layer rolled a tx back; arg: cause<<16|victim
   kHwKill,             ///< kill initiated against another thread; arg: victim tid
+  kReqDequeue,         ///< serve: shard worker took a batch; arg: queue depth
+  kReqComplete,        ///< serve: request completed; arg: Status
   kKindCount_,
 };
 
@@ -226,6 +231,8 @@ inline std::string_view to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kSglDrainDone: return "sgl-drain-done";
     case TraceEventKind::kHwRollback: return "hw-rollback";
     case TraceEventKind::kHwKill: return "hw-kill";
+    case TraceEventKind::kReqDequeue: return "req-dequeue";
+    case TraceEventKind::kReqComplete: return "req-complete";
     default: return "?";
   }
 }

@@ -1,0 +1,163 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace si::serve::net {
+
+namespace {
+
+void set_err(std::string* err, const char* what) {
+  if (err != nullptr) {
+    *err = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+int listen_tcp(std::uint16_t port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_err(err, "bind");
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 128) != 0) {
+    set_err(err, "listen");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_err(err, "socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err != nullptr) *err = "bad address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    set_err(err, "connect");
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void format_request(std::string* out, std::uint64_t id, std::uint16_t op,
+                    std::uint64_t key, std::uint64_t arg) {
+  char buf[96];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu %u %llu %llu\n",
+                              static_cast<unsigned long long>(id), op,
+                              static_cast<unsigned long long>(key),
+                              static_cast<unsigned long long>(arg));
+  out->assign(buf, static_cast<std::size_t>(n));
+}
+
+void format_response(std::string* out, const Response& resp) {
+  char buf[80];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu %u %llu\n",
+                              static_cast<unsigned long long>(resp.id),
+                              static_cast<unsigned>(resp.status),
+                              static_cast<unsigned long long>(resp.value));
+  out->assign(buf, static_cast<std::size_t>(n));
+}
+
+bool parse_request(const std::string& line, std::uint64_t* id,
+                   std::uint16_t* op, std::uint64_t* key, std::uint64_t* arg) {
+  unsigned long long v_id = 0, v_key = 0, v_arg = 0;
+  unsigned v_op = 0;
+  if (std::sscanf(line.c_str(), "%llu %u %llu %llu", &v_id, &v_op, &v_key,
+                  &v_arg) != 4) {
+    return false;
+  }
+  *id = v_id;
+  *op = static_cast<std::uint16_t>(v_op);
+  *key = v_key;
+  *arg = v_arg;
+  return true;
+}
+
+bool parse_response(const std::string& line, std::uint64_t* id, int* status,
+                    std::uint64_t* value) {
+  unsigned long long v_id = 0, v_value = 0;
+  unsigned v_status = 0;
+  if (std::sscanf(line.c_str(), "%llu %u %llu", &v_id, &v_status, &v_value) !=
+      3) {
+    return false;
+  }
+  *id = v_id;
+  *status = static_cast<int>(v_status);
+  *value = v_value;
+  return true;
+}
+
+bool LineReader::next(std::string* line) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace si::serve::net

@@ -1,0 +1,61 @@
+// Minimal TCP + newline-delimited-protocol helpers shared by the serving
+// front end (tools/si_serve) and the load generator (tools/si_loadgen).
+//
+// Wire protocol, one line per message, fields space-separated decimal:
+//   request:   "<id> <op> <key> <arg>\n"
+//   response:  "<id> <status> <value>\n"
+// where status is serve::Status (0 ok, 1 failed, 2 rejected; a rejected
+// response carries the retry hint in microseconds in the value field).
+// Responses may interleave out of request order across shards; clients
+// correlate by id.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace si::serve::net {
+
+/// Listens on 127.0.0.1:`port` (port 0 = ephemeral). Returns the listening
+/// fd or -1 with `*err` set.
+int listen_tcp(std::uint16_t port, std::string* err);
+
+/// The port a bound socket actually listens on (resolves port 0).
+std::uint16_t local_port(int fd);
+
+/// Blocking connect to `host`:`port`; returns fd or -1 with `*err` set.
+int connect_tcp(const std::string& host, std::uint16_t port, std::string* err);
+
+/// Writes all of `data` (blocking, restarting on EINTR / short writes).
+bool send_all(int fd, const char* data, std::size_t len);
+
+/// Formats a request/response line into `out` (cleared first). Returns the
+/// formatted line, '\n'-terminated.
+void format_request(std::string* out, std::uint64_t id, std::uint16_t op,
+                    std::uint64_t key, std::uint64_t arg);
+void format_response(std::string* out, const Response& resp);
+
+/// Parses one request/response line (without or with the trailing '\n').
+/// Returns false on malformed input.
+bool parse_request(const std::string& line, std::uint64_t* id,
+                   std::uint16_t* op, std::uint64_t* key, std::uint64_t* arg);
+bool parse_response(const std::string& line, std::uint64_t* id, int* status,
+                    std::uint64_t* value);
+
+/// Buffered blocking line reader over a socket; used by the closed-loop
+/// load-generator connections (the poll-based server keeps its own buffers).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next '\n'-terminated line into `*line` (newline stripped).
+  /// Returns false on EOF or error.
+  bool next(std::string* line);
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+}  // namespace si::serve::net

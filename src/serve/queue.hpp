@@ -1,0 +1,134 @@
+// Bounded lock-free MPSC request ring with admission control.
+//
+// One queue per shard: any number of producers (front-end/client threads)
+// push, exactly one consumer (the shard's worker) pops in batches. The slot
+// protocol is Vyukov's bounded MPMC queue — each cell carries a sequence
+// number that tells producers whether the cell is free and the consumer
+// whether it is published — restricted to a single consumer, so the pop side
+// needs no CAS at all.
+//
+// Backpressure is two-level, per the serving design (DESIGN.md section 9):
+//  * `watermark` (admission control): try_push refuses with kBusy once the
+//    approximate depth reaches the watermark, leaving headroom so already
+//    accepted work keeps draining at a bounded queueing delay. Rejected
+//    requests are answered immediately with a retry hint, which is what lets
+//    an open-loop overload shed load instead of building an unbounded queue.
+//  * `capacity` (hard bound): kFull when the ring itself has no free cell —
+//    only reachable when the watermark is disabled or set to the capacity.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace si::serve {
+
+enum class Admit : std::uint8_t {
+  kAccepted = 0,
+  kBusy,  ///< admission watermark reached; retry after the hint
+  kFull,  ///< ring out of cells (hard bound)
+};
+
+class RequestQueue {
+ public:
+  /// `capacity` is rounded up to a power of two. `watermark` = 0 disables
+  /// admission control (only the hard capacity bound applies).
+  explicit RequestQueue(std::size_t capacity, std::size_t watermark = 0)
+      : cap_(round_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(cap_ - 1),
+        watermark_(watermark == 0 || watermark > cap_ ? cap_ : watermark),
+        cells_(cap_) {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return cap_; }
+  std::size_t watermark() const noexcept { return watermark_; }
+
+  /// Producer side; safe from any number of threads concurrently.
+  Admit try_push(const Request& req) noexcept {
+    if (approx_depth() >= watermark_) return Admit::kBusy;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.req = req;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return Admit::kAccepted;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh tail.
+      } else if (dif < 0) {
+        return Admit::kFull;  // the cell one lap back is still occupied
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side; single thread only. Dequeues up to `max` requests into
+  /// `out`, returning how many were taken (0 = queue empty right now).
+  std::size_t pop_batch(Request* out, std::size_t max) noexcept {
+    std::size_t n = 0;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    while (n < max) {
+      Cell& cell = cells_[static_cast<std::size_t>(pos) & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      // Published cells carry seq == pos + 1; anything less means empty (or
+      // a producer that claimed the cell but has not published yet — stop at
+      // the gap so requests are never reordered past it).
+      if (static_cast<std::int64_t>(seq) -
+              static_cast<std::int64_t>(pos + 1) < 0) {
+        break;
+      }
+      out[n++] = cell.req;
+      cell.seq.store(pos + cap_, std::memory_order_release);  // free for lap+1
+      ++pos;
+    }
+    if (n > 0) head_.store(pos, std::memory_order_relaxed);
+    return n;
+  }
+
+  /// Racy by nature (producers and the consumer move the ends concurrently);
+  /// used for admission decisions and depth telemetry, both of which only
+  /// need a close estimate.
+  std::size_t approx_depth() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail > head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty() const noexcept { return approx_depth() == 0; }
+
+ private:
+  struct alignas(128) Cell {
+    std::atomic<std::uint64_t> seq{0};
+    Request req;
+  };
+
+  static std::size_t round_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t cap_;
+  std::size_t mask_;
+  std::size_t watermark_;
+  alignas(128) std::atomic<std::uint64_t> tail_{0};  ///< producers
+  alignas(128) std::atomic<std::uint64_t> head_{0};  ///< the consumer
+  std::vector<Cell> cells_;
+};
+
+}  // namespace si::serve

@@ -1,0 +1,255 @@
+// Sharded transactional request-serving service (DESIGN.md section 9).
+//
+// Service<App> turns any runtime backend (runtime/runtime.hpp: HTM+SGL,
+// SI-HTM, P8TM, Silo, raw-ROT) plus an application (kv_app.hpp,
+// tpcc_app.hpp) into a request server:
+//
+//   client threads ──submit()──▶ per-shard RequestQueue (MPSC, bounded)
+//                                     │  batch drain
+//                               shard worker thread (tid = shard index)
+//                                     │  rt.execute(...) per request
+//                               completion callback + telemetry
+//
+// Shard workers are the *only* threads that execute transactions, so the
+// backend sees a fixed thread population of `shards` registered tids — the
+// same shape as the benchmark driver — while any number of client threads
+// push requests. Requests route to a shard by key hash (or an explicit
+// shard override), so a given key is always served by the same worker; that
+// is the hook later scaling work (sharded state, routing) plugs into.
+//
+// Telemetry goes through the existing observability layer: per-request
+// enqueue→complete latency and per-batch queue depth land in obs::Metrics
+// histograms, kReqDequeue/kReqComplete events in the obs::Tracer, both
+// under the worker's tid — so si_trace and the si-bench-v1 JSON emitter
+// report serving runs with no extra plumbing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/runtime.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "util/backoff.hpp"
+
+namespace si::serve {
+
+struct ServiceConfig {
+  int shards = 2;                   ///< worker threads = backend tids 0..shards-1
+  std::size_t queue_capacity = 1024;  ///< per-shard ring size (rounded to pow2)
+  /// Admission-control watermark per shard; 0 = capacity (hard bound only).
+  std::size_t admit_watermark = 0;
+  std::size_t batch_max = 32;       ///< max requests drained per worker pass
+
+  /// Backend selection, history recording and obs sinks, forwarded verbatim.
+  /// `runtime.max_threads` must be >= shards (it is raised if not).
+  si::runtime::RuntimeConfig runtime{};
+};
+
+struct ServiceCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_busy = 0;  ///< admission watermark refusals
+  std::uint64_t rejected_full = 0;  ///< hard ring-capacity refusals
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< completed with Status::kFailed (bad opcode)
+};
+
+struct SubmitResult {
+  Admit admit = Admit::kAccepted;
+  std::size_t depth = 0;           ///< shard depth observed at submit time
+  std::uint64_t retry_hint_us = 0; ///< suggested client backoff when rejected
+
+  bool accepted() const noexcept { return admit == Admit::kAccepted; }
+};
+
+/// `App` must provide `execute(si::runtime::Runtime&, int tid,
+/// const Request&, Response&)`, thread-safe across distinct tids.
+template <typename App>
+class Service {
+ public:
+  Service(App& app, ServiceConfig cfg)
+      : cfg_(fixup(std::move(cfg))), app_(app), rt_(cfg_.runtime) {
+    queues_.reserve(static_cast<std::size_t>(cfg_.shards));
+    for (int s = 0; s < cfg_.shards; ++s) {
+      queues_.push_back(std::make_unique<RequestQueue>(cfg_.queue_capacity,
+                                                       cfg_.admit_watermark));
+    }
+    workers_.reserve(static_cast<std::size_t>(cfg_.shards));
+    for (int s = 0; s < cfg_.shards; ++s) {
+      workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+  }
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  ~Service() { stop(); }
+
+  int shards() const noexcept { return cfg_.shards; }
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  si::runtime::Runtime& runtime() noexcept { return rt_; }
+
+  /// Routes `req` to its key's shard. Stamps the enqueue time. On rejection
+  /// the completion is NOT invoked; the caller answers the client (the TCP
+  /// front end sends Status::kRejected with the hint).
+  SubmitResult submit(Request req) { return submit_to(shard_of(req.key), req); }
+
+  /// Same, with an explicit shard (tests, shard-aware clients).
+  SubmitResult submit_to(int shard, Request req) {
+    RequestQueue& q = *queues_[static_cast<std::size_t>(shard)];
+    req.enqueue_ns = si::obs::wall_ns();
+    const Admit admit = q.try_push(req);
+    SubmitResult r;
+    r.admit = admit;
+    r.depth = q.approx_depth();
+    switch (admit) {
+      case Admit::kAccepted:
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Admit::kBusy:
+        rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+        r.retry_hint_us = retry_hint_us(r.depth);
+        break;
+      case Admit::kFull:
+        rejected_full_.fetch_add(1, std::memory_order_relaxed);
+        r.retry_hint_us = retry_hint_us(q.capacity());
+        break;
+    }
+    return r;
+  }
+
+  /// Synchronous convenience wrapper: submits and spins until the request
+  /// completes (in-process callers only). Returns false when rejected.
+  bool call(Request req, Response* out) {
+    struct Slot {
+      Response resp;
+      std::atomic<bool> done{false};
+    } slot;
+    req.done = [](void* ctx, const Response& resp) {
+      auto* s = static_cast<Slot*>(ctx);
+      s->resp = resp;
+      s->done.store(true, std::memory_order_release);
+    };
+    req.ctx = &slot;
+    if (!submit(std::move(req)).accepted()) return false;
+    si::util::Backoff bo;
+    while (!slot.done.load(std::memory_order_acquire)) bo.pause();
+    if (out != nullptr) *out = slot.resp;
+    return true;
+  }
+
+  /// Stops accepting dispatch and joins the workers after they drained every
+  /// already-accepted request (so completed == accepted at return).
+  void stop() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  ServiceCounters counters() const noexcept {
+    ServiceCounters c;
+    c.accepted = accepted_.load(std::memory_order_relaxed);
+    c.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+    c.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.failed = failed_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  std::size_t queue_depth(int shard) const noexcept {
+    return queues_[static_cast<std::size_t>(shard)]->approx_depth();
+  }
+
+  int shard_of(std::uint64_t key) const noexcept {
+    // splitmix64 finalizer: decorrelates adjacent keys from shard index.
+    std::uint64_t h = key + 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return static_cast<int>(h % static_cast<std::uint64_t>(cfg_.shards));
+  }
+
+ private:
+  static ServiceConfig fixup(ServiceConfig cfg) {
+    if (cfg.shards < 1) cfg.shards = 1;
+    if (cfg.batch_max < 1) cfg.batch_max = 1;
+    if (cfg.runtime.max_threads < cfg.shards) {
+      cfg.runtime.max_threads = cfg.shards;
+    }
+    return cfg;
+  }
+
+  /// Rough queueing-delay estimate for the client's retry backoff: assume
+  /// ~1 us per queued request (conservative for the emulated backends) with
+  /// a floor of 50 us so rejected clients don't hammer the admission gate.
+  static std::uint64_t retry_hint_us(std::size_t depth) noexcept {
+    const std::uint64_t hint = static_cast<std::uint64_t>(depth);
+    return hint < 50 ? 50 : hint;
+  }
+
+  void worker_loop(int tid) {
+    rt_.register_thread(tid);
+    RequestQueue& q = *queues_[static_cast<std::size_t>(tid)];
+    std::vector<Request> batch(cfg_.batch_max);
+    const si::obs::ObsConfig& obs = cfg_.runtime.obs;
+    int idle = 0;
+    for (;;) {
+      const std::size_t n = q.pop_batch(batch.data(), cfg_.batch_max);
+      if (n == 0) {
+        // Drain-then-exit: stopping_ is checked only on an empty queue, so
+        // every accepted request completes before the worker leaves.
+        if (stopping_.load(std::memory_order_acquire) && q.empty()) break;
+        if (++idle < 64) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+        continue;
+      }
+      idle = 0;
+      if (obs.enabled()) {
+        obs.req_dequeue(tid, si::obs::wall_ns(),
+                        static_cast<std::uint32_t>(q.approx_depth() + n));
+      }
+      for (std::size_t i = 0; i < n; ++i) serve_one(tid, batch[i], obs);
+    }
+  }
+
+  void serve_one(int tid, const Request& req, const si::obs::ObsConfig& obs) {
+    Response resp;
+    resp.id = req.id;
+    app_.execute(rt_, tid, req, &resp);
+    resp.latency_ns = si::obs::wall_ns() - req.enqueue_ns;
+    if (resp.latency_ns < 0) resp.latency_ns = 0;
+    if (obs.enabled()) {
+      obs.req_complete(tid, req.enqueue_ns + resp.latency_ns, req.enqueue_ns,
+                       static_cast<std::uint32_t>(resp.status));
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (resp.status == Status::kFailed) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (req.done != nullptr) req.done(req.ctx, resp);
+  }
+
+  ServiceConfig cfg_;
+  App& app_;
+  si::runtime::Runtime rt_;
+  std::vector<std::unique_ptr<RequestQueue>> queues_;
+  std::atomic<bool> stopping_{false};
+  alignas(128) std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  alignas(128) std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::vector<std::thread> workers_;  ///< last member: joins before teardown
+};
+
+}  // namespace si::serve

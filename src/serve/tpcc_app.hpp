@@ -1,0 +1,60 @@
+// TPC-C application for the serving layer: each request runs one TPC-C
+// transaction on the shard worker's terminal. The opcode selects the
+// transaction type explicitly (kNewOrder..kStockLevel, the wire encoding of
+// tpcc::TxType) or asks for a mix-sampled one (kSampled), which is what the
+// load generator uses to reproduce the paper's standard / read-dominated
+// mixes over the network.
+//
+// Terminal state (RNG stream, home warehouse, delivery round-robin) is per
+// shard worker, exactly as the benchmark keeps it per thread — a request
+// carries no terminal identity of its own.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+#include "serve/request.hpp"
+#include "tpcc/workload.hpp"
+
+namespace si::serve {
+
+class TpccApp {
+ public:
+  // Wire opcodes: 0..4 mirror tpcc::TxType; kSampled draws from the mix.
+  static constexpr std::uint16_t kNewOrder = 0;
+  static constexpr std::uint16_t kPayment = 1;
+  static constexpr std::uint16_t kOrderStatus = 2;
+  static constexpr std::uint16_t kDelivery = 3;
+  static constexpr std::uint16_t kStockLevel = 4;
+  static constexpr std::uint16_t kSampled = 255;
+
+  TpccApp(const si::tpcc::DbConfig& db_cfg, const si::tpcc::Mix& mix,
+          int shards, std::uint64_t seed = 99)
+      : workload_(db_cfg, mix, shards, seed) {}
+
+  si::tpcc::Workload& workload() noexcept { return workload_; }
+
+  void execute(si::runtime::Runtime& rt, int tid, const Request& req,
+               Response* resp) {
+    if (req.op == kSampled) {
+      resp->value = static_cast<std::uint64_t>(workload_.step(rt, tid));
+      return;
+    }
+    if (req.op > kStockLevel) {
+      resp->status = Status::kFailed;
+      return;
+    }
+    const auto type = static_cast<si::tpcc::TxType>(req.op);
+    workload_.run(rt, tid, type);
+    resp->value = req.op;
+  }
+
+  static bool is_ro(std::uint16_t op) noexcept {
+    return op == kOrderStatus || op == kStockLevel;
+  }
+
+ private:
+  si::tpcc::Workload workload_;
+};
+
+}  // namespace si::serve

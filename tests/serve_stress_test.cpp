@@ -1,0 +1,128 @@
+// Concurrency stress for the serving layer: the MPSC ring hammered by many
+// producers, and a full service under sustained multi-producer load. These
+// run in the TSan lane (CMakePresets.json tsan preset) as well as tier1, so
+// they are the data-race canaries for src/serve — keep the iteration counts
+// meaningful but TSan-affordable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "serve/kv_app.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace si::serve;
+
+TEST(ServeQueueStress, MpscConservationAndPerProducerFifo) {
+  constexpr int kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 20000;
+  constexpr std::uint64_t kTotal = kProducers * kPerProducer;
+  RequestQueue q(1024);
+
+  std::atomic<std::uint64_t> order_violations{0};
+  std::atomic<std::uint64_t> key_sum{0};
+  std::thread consumer([&] {
+    std::vector<std::uint64_t> next(kProducers, 0);
+    std::uint64_t total = 0;
+    std::uint64_t sum = 0;
+    Request batch[64];
+    while (total < kTotal) {
+      const std::size_t n = q.pop_batch(batch, 64);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto p = static_cast<std::size_t>(batch[i].id >> 32);
+        const std::uint64_t seq = batch[i].id & 0xffffffffu;
+        if (p >= kProducers || seq != next[p]) {
+          order_violations.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ++next[p];
+        }
+        sum += batch[i].key;
+      }
+      total += n;
+    }
+    key_sum.store(sum, std::memory_order_release);
+  });
+
+  std::vector<std::thread> producers;
+  std::uint64_t expected_sum = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Request req;
+        req.id = (static_cast<std::uint64_t>(p) << 32) | i;
+        req.key = static_cast<std::uint64_t>(p) * 1000003u + i;
+        while (q.try_push(req) != Admit::kAccepted) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+      expected_sum += p * 1000003u + i;
+    }
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  EXPECT_EQ(order_violations.load(), 0u);  // per-producer FIFO held throughout
+  EXPECT_EQ(key_sum.load(), expected_sum);  // nothing lost or duplicated
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeShardStress, ServiceCompletesEverySubmissionUnderLoad) {
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.queue_capacity = 128;
+  cfg.runtime.backend = si::runtime::Backend::kSiHtm;
+  KvAppConfig app_cfg;
+  app_cfg.buckets = 128;
+  app_cfg.seed_elements = 1000;
+  app_cfg.key_space = 2000;
+  KvApp app(app_cfg, cfg.shards);
+  Service<KvApp> svc(app, cfg);
+
+  constexpr int kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 2000;
+  std::atomic<std::uint64_t> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      si::util::Xoshiro256 rng(500 + static_cast<std::uint64_t>(p));
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Request req;
+        req.id = (static_cast<std::uint64_t>(p) << 32) | i;
+        req.key = rng.below(app_cfg.key_space);
+        const std::uint64_t roll = rng.below(10);
+        req.op = roll < 7 ? KvApp::kGet : roll < 9 ? KvApp::kPut : KvApp::kDel;
+        req.arg = req.key + 1;
+        req.ro = KvApp::is_ro(req.op);
+        req.done = [](void* ctx, const Response&) {
+          static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(
+              1, std::memory_order_relaxed);
+        };
+        req.ctx = &done;
+        while (!svc.submit(req).accepted()) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  svc.stop();
+
+  const auto c = svc.counters();
+  EXPECT_EQ(c.accepted, kProducers * kPerProducer);
+  EXPECT_EQ(c.completed, c.accepted);
+  EXPECT_EQ(c.failed, 0u);
+  EXPECT_EQ(done.load(), c.accepted);
+}
+
+}  // namespace

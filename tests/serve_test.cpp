@@ -1,0 +1,280 @@
+// Tests of the serving layer (src/serve): queue admission and ordering,
+// an in-process mixed burst over the real backends, backpressure shedding,
+// request telemetry, and an SI-checked recorded serve run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/history.hpp"
+#include "check/verify.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "serve/kv_app.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace si::serve;
+
+Request make_req(std::uint64_t id, std::uint16_t op = KvApp::kGet,
+                 std::uint64_t key = 0, std::uint64_t arg = 0) {
+  Request r;
+  r.id = id;
+  r.op = op;
+  r.key = key;
+  r.arg = arg;
+  r.ro = KvApp::is_ro(op);
+  return r;
+}
+
+void count_completion(void* ctx, const Response&) {
+  static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+TEST(ServeQueue, FifoSingleThreaded) {
+  RequestQueue q(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.try_push(make_req(i)), Admit::kAccepted);
+  }
+  EXPECT_EQ(q.approx_depth(), 10u);
+
+  Request out[16];
+  const std::size_t n = q.pop_batch(out, 16);
+  ASSERT_EQ(n, 10u);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(out[i].id, i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeQueue, WatermarkRejectsBeforeCapacity) {
+  RequestQueue q(8, 4);
+  EXPECT_EQ(q.capacity(), 8u);
+  EXPECT_EQ(q.watermark(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.try_push(make_req(i)), Admit::kAccepted);
+  }
+  // Admission control refuses at the watermark even though cells remain.
+  EXPECT_EQ(q.try_push(make_req(99)), Admit::kBusy);
+
+  Request out[8];
+  EXPECT_EQ(q.pop_batch(out, 8), 4u);
+  // Draining reopens admission.
+  EXPECT_EQ(q.try_push(make_req(100)), Admit::kAccepted);
+}
+
+TEST(ServeQueue, CapacityRoundsUpAndBoundsDepth) {
+  RequestQueue q(5);  // rounded up to 8; watermark defaults to capacity
+  EXPECT_EQ(q.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.try_push(make_req(i)), Admit::kAccepted);
+  }
+  EXPECT_NE(q.try_push(make_req(8)), Admit::kAccepted);
+  EXPECT_EQ(q.approx_depth(), 8u);
+}
+
+TEST(ServeQueue, WrapAroundKeepsFifo) {
+  RequestQueue q(4);
+  Request out[4];
+  std::uint64_t next = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(q.try_push(make_req(next + i)), Admit::kAccepted);
+    }
+    ASSERT_EQ(q.pop_batch(out, 4), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) ASSERT_EQ(out[i].id, next + i);
+    next += 3;
+  }
+}
+
+class ServeSmoke : public ::testing::TestWithParam<si::runtime::Backend> {};
+
+// The serve-smoke acceptance burst: 2 shards, 4 producers, mixed RO/update
+// traffic, every accepted request completes exactly once, none fail.
+TEST_P(ServeSmoke, MixedBurstCompletesEverything) {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 256;
+  cfg.runtime.backend = GetParam();
+  KvAppConfig app_cfg;
+  app_cfg.buckets = 128;
+  app_cfg.seed_elements = 2000;
+  app_cfg.key_space = 4000;
+  KvApp app(app_cfg, cfg.shards);
+  Service<KvApp> svc(app, cfg);
+
+  // Sanity: a put is visible to a subsequent get.
+  Response resp;
+  ASSERT_TRUE(svc.call(make_req(1, KvApp::kPut, 77, 1234), &resp));
+  ASSERT_TRUE(svc.call(make_req(2, KvApp::kGet, 77), &resp));
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.value, 1234u);
+
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 2500;
+  std::atomic<std::uint64_t> done{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      si::util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(p));
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t key = rng.below(app_cfg.key_space);
+        const std::uint64_t roll = rng.below(10);
+        const std::uint16_t op = roll < 8 ? KvApp::kGet
+                                 : roll == 8 ? KvApp::kPut
+                                             : KvApp::kDel;
+        Request req = make_req((static_cast<std::uint64_t>(p) << 32) | i, op,
+                               key, key * 2 + 1);
+        req.done = count_completion;
+        req.ctx = &done;
+        while (!svc.submit(req).accepted()) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  svc.stop();
+
+  const auto c = svc.counters();
+  const std::uint64_t total = kProducers * kPerProducer + 2;  // +2 warm-up calls
+  EXPECT_EQ(c.accepted, total);
+  EXPECT_EQ(c.completed, total);
+  EXPECT_EQ(c.failed, 0u);
+  EXPECT_EQ(done.load(), kProducers * kPerProducer);
+
+  // Every request ran through the backend as a transaction.
+  const auto stats = si::util::aggregate(svc.runtime().thread_stats(), 0.0);
+  EXPECT_GT(stats.totals.commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServeSmoke,
+    ::testing::Values(si::runtime::Backend::kSiHtm,
+                      si::runtime::Backend::kHtm),
+    [](const ::testing::TestParamInfo<si::runtime::Backend>& info) {
+      return info.param == si::runtime::Backend::kSiHtm
+                 ? std::string("SiHtm")
+                 : std::string("HtmSgl");
+    });
+
+// Deliberately slow application: every request takes ~200us, so a flood
+// against a tiny queue must trip admission control.
+struct SlowApp {
+  void execute(si::runtime::Runtime&, int, const Request&, Response* resp) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    resp->value = 1;
+  }
+};
+
+TEST(ServeBackpressure, OverloadShedsWithoutDeadlock) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 8;
+  cfg.admit_watermark = 4;
+  cfg.runtime.backend = si::runtime::Backend::kHtm;
+  SlowApp app;
+  Service<SlowApp> svc(app, cfg);
+
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 200;
+  std::atomic<std::uint64_t> done{0};
+  std::atomic<std::uint64_t> hint_seen{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        Request req = make_req((static_cast<std::uint64_t>(p) << 32) | i);
+        req.done = count_completion;
+        req.ctx = &done;
+        const SubmitResult r = svc.submit(req);  // no retry: shed, don't wait
+        if (!r.accepted()) {
+          hint_seen.fetch_add(r.retry_hint_us > 0 ? 1 : 0,
+                              std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  svc.stop();
+
+  const auto c = svc.counters();
+  const std::uint64_t offered = kProducers * kPerProducer;
+  EXPECT_EQ(c.accepted + c.rejected_busy + c.rejected_full, offered);
+  EXPECT_GT(c.rejected_busy + c.rejected_full, 0u);  // overload actually shed
+  EXPECT_EQ(c.completed, c.accepted);  // everything accepted still completed
+  EXPECT_EQ(done.load(), c.accepted);
+  // Every rejection carried a non-zero retry hint.
+  EXPECT_EQ(hint_seen.load(), c.rejected_busy + c.rejected_full);
+}
+
+TEST(ServeMetrics, RequestTelemetryLandsInHistograms) {
+  si::obs::Metrics metrics(2);
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.runtime.backend = si::runtime::Backend::kSiHtm;
+  cfg.runtime.obs.metrics = &metrics;
+  KvAppConfig app_cfg;
+  app_cfg.buckets = 64;
+  app_cfg.seed_elements = 500;
+  app_cfg.key_space = 1000;
+  KvApp app(app_cfg, cfg.shards);
+  Service<KvApp> svc(app, cfg);
+
+  si::util::Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint16_t op = rng.below(10) < 7 ? KvApp::kGet : KvApp::kPut;
+    ASSERT_TRUE(svc.call(make_req(i + 1, op, rng.below(app_cfg.key_space), i),
+                         nullptr));
+  }
+  svc.stop();
+
+  const auto c = svc.counters();
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.request_latency.count(), c.completed);
+  EXPECT_GT(snap.queue_depth.count(), 0u);  // one sample per drained batch
+  EXPECT_LE(snap.queue_depth.count(), snap.request_latency.count());
+  EXPECT_GT(snap.request_latency_p99_ns(), 0u);
+}
+
+// A recorded in-process serve run must be admissible under SI. One shard, so
+// the backend runs single-threaded and the recorded history is exact (see
+// check/history.hpp); the seeded map's pre-run values are wildcard versions.
+TEST(ServeHistory, RecordedServeRunPassesSiChecker) {
+  si::check::HistoryRecorder rec(1);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.runtime.backend = si::runtime::Backend::kSiHtm;
+  cfg.runtime.recorder = &rec;
+  KvAppConfig app_cfg;
+  app_cfg.buckets = 64;
+  app_cfg.seed_elements = 256;
+  app_cfg.key_space = 512;
+  KvApp app(app_cfg, cfg.shards);
+  Service<KvApp> svc(app, cfg);
+
+  si::util::Xoshiro256 rng(7);
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::uint64_t key = rng.below(app_cfg.key_space);
+    const std::uint64_t roll = rng.below(10);
+    const std::uint16_t op = roll < 6 ? KvApp::kGet
+                             : roll < 8 ? KvApp::kPut
+                                        : KvApp::kDel;
+    Response resp;
+    ASSERT_TRUE(svc.call(make_req(i + 1, op, key, key * 3), &resp));
+    EXPECT_NE(resp.status, Status::kFailed);
+  }
+  svc.stop();
+
+  const auto verdict = si::check::verify_si(rec.merged());
+  EXPECT_TRUE(verdict.ok()) << si::check::describe(verdict);
+  EXPECT_GT(verdict.committed, 0u);
+  EXPECT_GT(verdict.reads_checked, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,383 @@
+// si_loadgen — load generator for si_serve (DESIGN.md section 9).
+//
+// Closed loop (default): N connections, each keeping exactly one request in
+// flight, optional think time. Offered load adapts to service capacity, so
+// every request eventually completes — the classic benchmark shape:
+//
+//   si_loadgen -port 7070 -conns 8 -requests 100000
+//
+// Open loop: a target aggregate arrival rate with Poisson (exponential
+// inter-arrival) spacing, requests issued without waiting for responses.
+// Offered load does NOT adapt, which is what exposes admission control:
+// past saturation the service answers Status::kRejected and the generator
+// counts shed load instead of retrying:
+//
+//   si_loadgen -port 7070 -conns 8 -mode open -rate 50000 -duration-s 5
+//
+// Both modes print completed/rejected/failed/lost counts, goodput, and
+// client-side latency percentiles (p50/p99/p999). Exit status is 0 iff no
+// request was lost (sent but never answered) and none failed.
+//
+// Request mix (hashmap workload): -ro PCT lookups, the rest alternating
+// put/del over -keys distinct keys, ids unique per connection. For a TPC-C
+// server use -tpcc: every request is op 255 (mix-sampled by the server).
+#include <cmath>
+#include <cstdio>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hpp"  // wall_ns
+#include "serve/kv_app.hpp"
+#include "serve/net.hpp"
+#include "serve/request.hpp"
+#include "serve/tpcc_app.hpp"
+#include "util/cli.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  int conns = 8;
+  std::uint64_t requests = 100000;  ///< total across connections (closed loop)
+  unsigned ro_pct = 90;
+  std::uint64_t keys = 40000;
+  std::uint64_t think_us = 0;
+  bool open_loop = false;
+  double rate = 10000.0;     ///< aggregate target req/s (open loop)
+  double duration_s = 5.0;   ///< send window (open loop)
+  bool tpcc = false;
+  std::uint64_t seed = 7;
+};
+
+struct ConnResult {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t retries = 0;  ///< closed loop: resubmissions after rejection
+  si::util::Histogram latency;
+  bool io_error = false;
+};
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [-host H] [-port P] [-conns N] [-requests TOTAL]\n"
+               "          [-ro PCT] [-keys N] [-think-us US] [-seed S]\n"
+               "          [-mode closed|open] [-rate REQ_S] [-duration-s S]\n"
+               "          [-tpcc]\n",
+               prog);
+}
+
+/// Samples the next request for this connection; returns (op, key, arg).
+struct MixSampler {
+  si::util::Xoshiro256 rng;
+  unsigned ro_pct;
+  std::uint64_t keys;
+  bool tpcc;
+  bool put_next = true;
+
+  void sample(std::uint16_t* op, std::uint64_t* key, std::uint64_t* arg) {
+    if (tpcc) {
+      *op = si::serve::TpccApp::kSampled;
+      *key = rng();  // routing only
+      *arg = 0;
+      return;
+    }
+    *key = rng.below(keys);
+    if (rng.percent(ro_pct)) {
+      *op = si::serve::KvApp::kGet;
+      *arg = 0;
+    } else if (put_next) {
+      *op = si::serve::KvApp::kPut;
+      *arg = *key + 1;
+      put_next = false;
+    } else {
+      *op = si::serve::KvApp::kDel;
+      *arg = 0;
+      put_next = true;
+    }
+  }
+};
+
+void closed_loop_conn(const Options& opt, int conn_idx, std::uint64_t quota,
+                      ConnResult* out) {
+  std::string err;
+  const int fd = si::serve::net::connect_tcp(opt.host, opt.port, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "conn %d: %s\n", conn_idx, err.c_str());
+    out->io_error = true;
+    return;
+  }
+  si::serve::net::LineReader reader(fd);
+  MixSampler mix{si::util::Xoshiro256(opt.seed ^ (0x9E3779B9ULL * (conn_idx + 1))),
+                 opt.ro_pct, opt.keys, opt.tpcc};
+  std::string line;
+  // Ids are unique per connection so cross-connection responses can never be
+  // confused (each connection only ever sees its own responses anyway).
+  std::uint64_t next_id = static_cast<std::uint64_t>(conn_idx) << 32;
+
+  for (std::uint64_t i = 0; i < quota; ++i) {
+    std::uint16_t op = 0;
+    std::uint64_t key = 0, arg = 0;
+    mix.sample(&op, &key, &arg);
+    const std::uint64_t id = ++next_id;
+    for (;;) {  // resubmit-on-reject loop
+      si::serve::net::format_request(&line, id, op, key, arg);
+      const double t0 = si::obs::wall_ns();
+      if (!si::serve::net::send_all(fd, line.data(), line.size())) {
+        out->io_error = true;
+        out->lost += quota - i;
+        ::close(fd);
+        return;
+      }
+      ++out->sent;
+      std::string resp_line;
+      if (!reader.next(&resp_line)) {
+        out->io_error = true;
+        out->lost += quota - i;
+        ::close(fd);
+        return;
+      }
+      std::uint64_t resp_id = 0, value = 0;
+      int status = 0;
+      if (!si::serve::net::parse_response(resp_line, &resp_id, &status,
+                                          &value) ||
+          resp_id != id) {
+        ++out->lost;
+        break;
+      }
+      if (status == static_cast<int>(si::serve::Status::kRejected)) {
+        ++out->rejected;
+        ++out->retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            value > 0 ? value : 100));  // the server's retry hint
+        continue;
+      }
+      if (status == static_cast<int>(si::serve::Status::kOk)) {
+        ++out->ok;
+        out->latency.record(
+            static_cast<std::uint64_t>(si::obs::wall_ns() - t0));
+      } else {
+        ++out->failed;
+      }
+      break;
+    }
+    if (opt.think_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(opt.think_us));
+    }
+  }
+  ::close(fd);
+}
+
+void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
+  std::string err;
+  const int fd = si::serve::net::connect_tcp(opt.host, opt.port, &err);
+  if (fd < 0) {
+    std::fprintf(stderr, "conn %d: %s\n", conn_idx, err.c_str());
+    out->io_error = true;
+    return;
+  }
+
+  std::mutex mu;  // guards in_flight (sender + reader of this connection)
+  std::unordered_map<std::uint64_t, double> in_flight;
+  std::atomic<bool> sender_done{false};
+
+  std::thread reader_thread([&] {
+    si::serve::net::LineReader reader(fd);
+    std::string resp_line;
+    while (reader.next(&resp_line)) {
+      std::uint64_t id = 0, value = 0;
+      int status = 0;
+      if (!si::serve::net::parse_response(resp_line, &id, &status, &value)) {
+        continue;
+      }
+      double t0 = -1.0;
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = in_flight.find(id);
+        if (it != in_flight.end()) {
+          t0 = it->second;
+          in_flight.erase(it);
+        }
+        drained = sender_done.load(std::memory_order_acquire) &&
+                  in_flight.empty();
+      }
+      if (t0 < 0) continue;  // duplicate or unknown id
+      if (status == static_cast<int>(si::serve::Status::kOk)) {
+        ++out->ok;
+        out->latency.record(
+            static_cast<std::uint64_t>(si::obs::wall_ns() - t0));
+      } else if (status == static_cast<int>(si::serve::Status::kRejected)) {
+        ++out->rejected;  // open loop: shed, not retried
+      } else {
+        ++out->failed;
+      }
+      if (drained) break;
+    }
+  });
+
+  MixSampler mix{si::util::Xoshiro256(opt.seed ^ (0x517CC1ULL * (conn_idx + 1))),
+                 opt.ro_pct, opt.keys, opt.tpcc};
+  const double per_conn_rate = opt.rate / opt.conns;
+  const double mean_gap_ns = 1e9 / (per_conn_rate > 1 ? per_conn_rate : 1);
+  si::util::Xoshiro256 gap_rng(opt.seed ^ (0xA5A5ULL * (conn_idx + 3)));
+  std::string line;
+  std::uint64_t next_id = static_cast<std::uint64_t>(conn_idx) << 32;
+
+  const double t_start = si::obs::wall_ns();
+  const double t_end = t_start + opt.duration_s * 1e9;
+  double next_send = t_start;
+  while (si::obs::wall_ns() < t_end) {
+    // Poisson arrivals: exponential inter-arrival times at the target rate.
+    const double u =
+        (static_cast<double>(gap_rng()) + 1.0) / 1.8446744073709552e19;
+    next_send += -std::log(u) * mean_gap_ns;
+    while (si::obs::wall_ns() < next_send) {
+      // Sub-ms gaps: spin; coarser gaps: sleep most of the remainder.
+      const double remain = next_send - si::obs::wall_ns();
+      if (remain > 2e6) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(static_cast<std::int64_t>(remain / 2)));
+      }
+    }
+    std::uint16_t op = 0;
+    std::uint64_t key = 0, arg = 0;
+    mix.sample(&op, &key, &arg);
+    const std::uint64_t id = ++next_id;
+    si::serve::net::format_request(&line, id, op, key, arg);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      in_flight.emplace(id, si::obs::wall_ns());
+    }
+    if (!si::serve::net::send_all(fd, line.data(), line.size())) {
+      std::lock_guard<std::mutex> lock(mu);
+      in_flight.erase(id);
+      out->io_error = true;
+      break;
+    }
+    ++out->sent;
+  }
+  sender_done.store(true, std::memory_order_release);
+
+  // Give in-flight requests a grace period to drain, then force the reader
+  // out by shutting the socket down; whatever is still unanswered is lost.
+  const double drain_deadline = si::obs::wall_ns() + 10e9;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (in_flight.empty()) break;
+    }
+    if (si::obs::wall_ns() > drain_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  reader_thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    out->lost += in_flight.size();
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+  Options opt;
+  opt.host = cli.get("host", opt.host);
+  opt.port = static_cast<std::uint16_t>(cli.get_int("port", opt.port));
+  opt.conns = static_cast<int>(cli.get_int("conns", opt.conns));
+  opt.requests =
+      static_cast<std::uint64_t>(cli.get_int("requests", 100000));
+  opt.ro_pct = static_cast<unsigned>(cli.get_int("ro", opt.ro_pct));
+  opt.keys = static_cast<std::uint64_t>(cli.get_int("keys", 40000));
+  opt.think_us = static_cast<std::uint64_t>(cli.get_int("think-us", 0));
+  opt.open_loop = cli.get("mode", "closed") == "open";
+  opt.rate = cli.get_double("rate", opt.rate);
+  opt.duration_s = cli.get_double("duration-s", opt.duration_s);
+  opt.tpcc = cli.has("tpcc");
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  if (opt.conns < 1) opt.conns = 1;
+
+  std::vector<ConnResult> results(static_cast<std::size_t>(opt.conns));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(opt.conns));
+
+  const double t0 = si::obs::wall_ns();
+  for (int c = 0; c < opt.conns; ++c) {
+    ConnResult* out = &results[static_cast<std::size_t>(c)];
+    if (opt.open_loop) {
+      threads.emplace_back([&opt, c, out] { open_loop_conn(opt, c, out); });
+    } else {
+      const std::uint64_t base = opt.requests / static_cast<std::uint64_t>(opt.conns);
+      const std::uint64_t extra =
+          static_cast<std::uint64_t>(c) <
+                  opt.requests % static_cast<std::uint64_t>(opt.conns)
+              ? 1
+              : 0;
+      const std::uint64_t quota = base + extra;
+      threads.emplace_back(
+          [&opt, c, quota, out] { closed_loop_conn(opt, c, quota, out); });
+    }
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = (si::obs::wall_ns() - t0) / 1e9;
+
+  ConnResult total;
+  bool io_error = false;
+  for (const auto& r : results) {
+    total.sent += r.sent;
+    total.ok += r.ok;
+    total.failed += r.failed;
+    total.rejected += r.rejected;
+    total.lost += r.lost;
+    total.retries += r.retries;
+    total.latency.merge(r.latency);
+    io_error = io_error || r.io_error;
+  }
+
+  std::printf("si_loadgen: mode=%s conns=%d elapsed=%.2fs\n",
+              opt.open_loop ? "open" : "closed", opt.conns, elapsed_s);
+  std::printf("  sent=%llu completed=%llu rejected=%llu failed=%llu "
+              "lost=%llu retries=%llu\n",
+              static_cast<unsigned long long>(total.sent),
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.rejected),
+              static_cast<unsigned long long>(total.failed),
+              static_cast<unsigned long long>(total.lost),
+              static_cast<unsigned long long>(total.retries));
+  std::printf("  goodput=%.0f req/s\n",
+              elapsed_s > 0 ? static_cast<double>(total.ok) / elapsed_s : 0.0);
+  if (total.latency.count() > 0) {
+    std::printf("  latency p50=%llu p99=%llu p999=%llu max=%llu ns\n",
+                static_cast<unsigned long long>(total.latency.quantile(0.50)),
+                static_cast<unsigned long long>(total.latency.quantile(0.99)),
+                static_cast<unsigned long long>(total.latency.quantile(0.999)),
+                static_cast<unsigned long long>(total.latency.max()));
+  }
+  if (opt.open_loop) {
+    const double offered = static_cast<double>(total.sent) / elapsed_s;
+    std::printf("  offered=%.0f req/s shed=%.1f%%\n", offered,
+                total.sent > 0 ? 100.0 * static_cast<double>(total.rejected) /
+                                     static_cast<double>(total.sent)
+                               : 0.0);
+  }
+  return (total.lost == 0 && total.failed == 0 && !io_error) ? 0 : 1;
+}

@@ -1,0 +1,318 @@
+// si_serve — TCP front end for the sharded transactional serving layer
+// (src/serve, DESIGN.md section 9).
+//
+//   si_serve -backend si-htm -workload hashmap -shards 2 -port 7070
+//   si_serve -backend silo -workload tpcc -shards 4 -port 0   # ephemeral
+//
+// A single poll(2)-based front-end thread accepts connections and parses
+// newline-delimited requests (serve/net.hpp wire format); accepted requests
+// go to the shard queues and are executed by the service's worker threads,
+// whose completion callbacks write the response line straight back to the
+// connection. Admission-control rejections are answered inline by the
+// front end with Status::kRejected and the retry hint, so overload sheds
+// at the socket instead of queueing.
+//
+// Runs until SIGINT/SIGTERM, then drains in-flight requests and prints the
+// service counters plus request-latency percentiles. `-json FILE` also
+// writes an si-bench-v1 record of the run (with provenance).
+#include <csignal>
+#include <cstdio>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "runtime/runtime.hpp"
+#include "serve/kv_app.hpp"
+#include "serve/net.hpp"
+#include "serve/service.hpp"
+#include "serve/tpcc_app.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [-backend si-htm|htm|p8tm|silo|raw-rot]\n"
+               "          [-workload hashmap|tpcc] [-shards N] [-port P]\n"
+               "          [-queue-cap N] [-watermark N] [-batch N]\n"
+               "          [-buckets N] [-elements N] [-warehouses N]\n"
+               "          [-json FILE]\n",
+               prog);
+}
+
+/// One client connection. Worker completion callbacks and the front-end
+/// thread both write lines to the fd; `mu` serializes them and `alive`
+/// keeps completions off a closed socket. The connection is refcounted:
+/// one reference held by the front end, one per in-flight request.
+struct Conn {
+  int fd = -1;
+  std::string inbuf;
+  std::mutex mu;
+  bool alive = true;
+  std::atomic<int> refs{1};
+
+  void acquire() { refs.fetch_add(1, std::memory_order_relaxed); }
+
+  void release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      ::close(fd);
+      delete this;
+    }
+  }
+
+  void send_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (alive) {
+      if (!si::serve::net::send_all(fd, line.data(), line.size())) {
+        alive = false;
+      }
+    }
+  }
+};
+
+void complete_to_conn(void* ctx, const si::serve::Response& resp) {
+  auto* conn = static_cast<Conn*>(ctx);
+  std::string line;
+  si::serve::net::format_response(&line, resp);
+  conn->send_line(line);
+  conn->release();
+}
+
+struct FrontEndStats {
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t requests_parsed = 0;
+  std::uint64_t parse_errors = 0;
+};
+
+/// Poll loop: accept + read + submit until g_stop. Completions write from
+/// the worker threads concurrently.
+template <typename ServiceT>
+void serve_loop(ServiceT& service, int listen_fd, FrontEndStats* stats) {
+  std::vector<Conn*> conns;
+  std::vector<pollfd> pfds;
+  char chunk[8192];
+
+  auto drop_conn = [&](std::size_t idx) {
+    Conn* conn = conns[idx];
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->alive = false;
+    }
+    conn->release();
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(idx));
+  };
+
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    pfds.clear();
+    pfds.push_back({listen_fd, POLLIN, 0});
+    for (const Conn* conn : conns) pfds.push_back({conn->fd, POLLIN, 0});
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+
+    if (pfds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        auto* conn = new Conn;
+        conn->fd = fd;
+        conns.push_back(conn);
+        ++stats->conns_accepted;
+      }
+    }
+
+    // Iterate backwards so dropping a connection keeps earlier indices valid.
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      const pollfd& p = pfds[i + 1];
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        drop_conn(i);
+        continue;
+      }
+      if ((p.revents & POLLIN) == 0) continue;
+      Conn* conn = conns[i];
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        drop_conn(i);
+        continue;
+      }
+      conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t nl = conn->inbuf.find('\n', start);
+        if (nl == std::string::npos) break;
+        const std::string line = conn->inbuf.substr(start, nl - start);
+        start = nl + 1;
+
+        si::serve::Request req;
+        if (!si::serve::net::parse_request(line, &req.id, &req.op, &req.key,
+                                           &req.arg)) {
+          ++stats->parse_errors;
+          si::serve::Response resp;
+          resp.id = 0;
+          resp.status = si::serve::Status::kFailed;
+          std::string out;
+          si::serve::net::format_response(&out, resp);
+          conn->send_line(out);
+          continue;
+        }
+        ++stats->requests_parsed;
+        req.done = complete_to_conn;
+        req.ctx = conn;
+        conn->acquire();
+        const auto sr = service.submit(req);
+        if (!sr.accepted()) {
+          conn->release();  // the request never reached a worker
+          si::serve::Response resp;
+          resp.id = req.id;
+          resp.status = si::serve::Status::kRejected;
+          resp.value = sr.retry_hint_us;
+          std::string out;
+          si::serve::net::format_response(&out, resp);
+          conn->send_line(out);
+        }
+      }
+      conn->inbuf.erase(0, start);
+    }
+  }
+
+  while (!conns.empty()) drop_conn(conns.size() - 1);
+}
+
+template <typename ServiceT>
+int run_front_end(ServiceT& service, si::util::Cli& cli,
+                  si::obs::Metrics& metrics, const std::string& backend_name) {
+  std::string err;
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7070));
+  const int listen_fd = si::serve::net::listen_tcp(port, &err);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "si_serve: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("si_serve: listening on 127.0.0.1:%u (%s, %d shards)\n",
+              si::serve::net::local_port(listen_fd), backend_name.c_str(),
+              service.shards());
+  std::fflush(stdout);
+
+  FrontEndStats fes;
+  serve_loop(service, listen_fd, &fes);
+  ::close(listen_fd);
+  service.stop();  // drain: every accepted request completes before this returns
+
+  const auto c = service.counters();
+  const auto snap = metrics.snapshot();
+  std::printf("si_serve: conns=%llu parsed=%llu parse-errors=%llu\n",
+              static_cast<unsigned long long>(fes.conns_accepted),
+              static_cast<unsigned long long>(fes.requests_parsed),
+              static_cast<unsigned long long>(fes.parse_errors));
+  std::printf("si_serve: accepted=%llu completed=%llu failed=%llu "
+              "rejected-busy=%llu rejected-full=%llu\n",
+              static_cast<unsigned long long>(c.accepted),
+              static_cast<unsigned long long>(c.completed),
+              static_cast<unsigned long long>(c.failed),
+              static_cast<unsigned long long>(c.rejected_busy),
+              static_cast<unsigned long long>(c.rejected_full));
+  if (snap.request_latency.count() > 0) {
+    std::printf("si_serve: request latency p50=%llu p99=%llu max=%llu ns "
+                "(queue depth p99=%llu)\n",
+                static_cast<unsigned long long>(snap.request_latency_p50_ns()),
+                static_cast<unsigned long long>(snap.request_latency_p99_ns()),
+                static_cast<unsigned long long>(snap.request_latency.max()),
+                static_cast<unsigned long long>(snap.queue_depth.quantile(0.99)));
+  }
+
+  si::bench::JsonSink sink = si::bench::JsonSink::from_cli(cli, "si_serve");
+  sink.set_backend(backend_name);
+  if (sink.enabled()) {
+    // Open-ended run: throughput is left 0 (no measured window); commits and
+    // latency percentiles are the headline numbers.
+    const auto rs = si::util::aggregate(service.runtime().thread_stats(), 0.0);
+    si::bench::BenchRecord rec;
+    rec.system = backend_name;
+    rec.point = "serve";
+    rec.threads = service.shards();
+    rec.commits = rs.totals.commits;
+    rec.abort_pct = rs.abort_pct();
+    if (snap.request_latency.count() > 0) {
+      rec.req_latency_p50_ns =
+          static_cast<double>(snap.request_latency_p50_ns());
+      rec.req_latency_p99_ns =
+          static_cast<double>(snap.request_latency_p99_ns());
+    }
+    sink.add(rec);
+    sink.flush();
+  }
+  return c.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+
+  si::serve::ServiceConfig scfg;
+  try {
+    scfg.runtime.backend =
+        si::runtime::backend_from_string(cli.get("backend", "si-htm"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+    return 2;
+  }
+  const std::string workload = cli.get("workload", "hashmap");
+  if (workload != "hashmap" && workload != "tpcc") {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+  scfg.shards = static_cast<int>(cli.get_int("shards", 2));
+  scfg.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-cap", 1024));
+  scfg.admit_watermark =
+      static_cast<std::size_t>(cli.get_int("watermark", 0));
+  scfg.batch_max = static_cast<std::size_t>(cli.get_int("batch", 32));
+  scfg.runtime.max_threads = scfg.shards;
+
+  si::obs::Metrics metrics(scfg.shards);
+  scfg.runtime.obs.metrics = &metrics;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  const std::string backend_name{si::runtime::to_string(scfg.runtime.backend)};
+  if (workload == "hashmap") {
+    si::serve::KvAppConfig acfg;
+    acfg.buckets = static_cast<std::size_t>(cli.get_int("buckets", 1000));
+    acfg.seed_elements =
+        static_cast<std::uint64_t>(cli.get_int("elements", 20000));
+    acfg.key_space = acfg.seed_elements * 2;
+    si::serve::KvApp app(acfg, scfg.shards);
+    si::serve::Service<si::serve::KvApp> service(app, scfg);
+    return run_front_end(service, cli, metrics, backend_name);
+  }
+
+  si::tpcc::DbConfig dcfg;
+  dcfg.warehouses = static_cast<int>(cli.get_int("warehouses", 2));
+  dcfg.items = 1000;
+  dcfg.customers_per_district = 300;
+  dcfg.initial_orders_per_district = 200;
+  dcfg.order_ring_bits = 10;
+  si::serve::TpccApp app(dcfg, si::tpcc::Mix::standard(), scfg.shards);
+  si::serve::Service<si::serve::TpccApp> service(app, scfg);
+  return run_front_end(service, cli, metrics, backend_name);
+}
