@@ -13,8 +13,13 @@
 //    accepted work keeps draining at a bounded queueing delay. Rejected
 //    requests are answered immediately with a retry hint, which is what lets
 //    an open-loop overload shed load instead of building an unbounded queue.
-//  * `capacity` (hard bound): kFull when the ring itself has no free cell —
-//    only reachable when the watermark is disabled or set to the capacity.
+//  * `capacity` (hard bound): kFull when the ring itself has no free cell.
+//    With the watermark disabled (== capacity) the pre-check is skipped so a
+//    full ring reports kFull from the cell protocol, not kBusy.
+//
+// The watermark is best-effort under concurrency: producers that pass the
+// pre-check together can overshoot it by up to the producer count before the
+// hard capacity bound stops them.
 #pragma once
 
 #include <atomic>
@@ -28,8 +33,9 @@ namespace si::serve {
 
 enum class Admit : std::uint8_t {
   kAccepted = 0,
-  kBusy,  ///< admission watermark reached; retry after the hint
-  kFull,  ///< ring out of cells (hard bound)
+  kBusy,     ///< admission watermark reached; retry after the hint
+  kFull,     ///< ring out of cells (hard bound)
+  kStopped,  ///< service shutting down; never returned by the queue itself
 };
 
 class RequestQueue {
@@ -54,7 +60,10 @@ class RequestQueue {
 
   /// Producer side; safe from any number of threads concurrently.
   Admit try_push(const Request& req) noexcept {
-    if (approx_depth() >= watermark_) return Admit::kBusy;
+    // Admission pre-check only when a real watermark is configured; with the
+    // watermark disabled (== capacity) the cell protocol below reports the
+    // hard bound as kFull instead of mislabeling a full ring as kBusy.
+    if (watermark_ < cap_ && approx_depth() >= watermark_) return Admit::kBusy;
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[static_cast<std::size_t>(pos) & mask_];

@@ -53,8 +53,9 @@ struct ServiceConfig {
 
 struct ServiceCounters {
   std::uint64_t accepted = 0;
-  std::uint64_t rejected_busy = 0;  ///< admission watermark refusals
-  std::uint64_t rejected_full = 0;  ///< hard ring-capacity refusals
+  std::uint64_t rejected_busy = 0;     ///< admission watermark refusals
+  std::uint64_t rejected_full = 0;     ///< hard ring-capacity refusals
+  std::uint64_t rejected_stopped = 0;  ///< submitted after stop() began
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;  ///< completed with Status::kFailed (bad opcode)
 };
@@ -101,6 +102,16 @@ class Service {
 
   /// Same, with an explicit shard (tests, shard-aware clients).
   SubmitResult submit_to(int shard, Request req) {
+    // A request enqueued after the workers drained and exited would never
+    // run (breaking completed == accepted, and making call() spin forever),
+    // so refuse once shutdown has begun. Best-effort: a submit racing the
+    // stop() call itself may still be accepted, and then drains normally.
+    if (stopping_.load(std::memory_order_acquire)) {
+      SubmitResult r;
+      r.admit = Admit::kStopped;
+      rejected_stopped_.fetch_add(1, std::memory_order_relaxed);
+      return r;
+    }
     RequestQueue& q = *queues_[static_cast<std::size_t>(shard)];
     req.enqueue_ns = si::obs::wall_ns();
     const Admit admit = q.try_push(req);
@@ -118,6 +129,8 @@ class Service {
       case Admit::kFull:
         rejected_full_.fetch_add(1, std::memory_order_relaxed);
         r.retry_hint_us = retry_hint_us(q.capacity());
+        break;
+      case Admit::kStopped:  // handled by the early return above
         break;
     }
     return r;
@@ -143,8 +156,9 @@ class Service {
     return true;
   }
 
-  /// Stops accepting dispatch and joins the workers after they drained every
-  /// already-accepted request (so completed == accepted at return).
+  /// Rejects further submissions (Admit::kStopped) and joins the workers
+  /// after they drained every already-accepted request, so completed ==
+  /// accepted at return.
   void stop() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
@@ -158,6 +172,7 @@ class Service {
     c.accepted = accepted_.load(std::memory_order_relaxed);
     c.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
     c.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+    c.rejected_stopped = rejected_stopped_.load(std::memory_order_relaxed);
     c.completed = completed_.load(std::memory_order_relaxed);
     c.failed = failed_.load(std::memory_order_relaxed);
     return c;
@@ -247,6 +262,7 @@ class Service {
   alignas(128) std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
   std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_stopped_{0};
   alignas(128) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::vector<std::thread> workers_;  ///< last member: joins before teardown

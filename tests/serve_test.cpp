@@ -76,7 +76,8 @@ TEST(ServeQueue, CapacityRoundsUpAndBoundsDepth) {
   for (std::uint64_t i = 0; i < 8; ++i) {
     EXPECT_EQ(q.try_push(make_req(i)), Admit::kAccepted);
   }
-  EXPECT_NE(q.try_push(make_req(8)), Admit::kAccepted);
+  // With the watermark disabled the hard bound reports kFull, not kBusy.
+  EXPECT_EQ(q.try_push(make_req(8)), Admit::kFull);
   EXPECT_EQ(q.approx_depth(), 8u);
 }
 
@@ -211,6 +212,28 @@ TEST(ServeBackpressure, OverloadShedsWithoutDeadlock) {
   EXPECT_EQ(done.load(), c.accepted);
   // Every rejection carried a non-zero retry hint.
   EXPECT_EQ(hint_seen.load(), c.rejected_busy + c.rejected_full);
+}
+
+// After stop() the workers are gone; a submit must be refused up front, not
+// silently queued (which would break completed == accepted and make call()
+// spin forever).
+TEST(ServeStop, SubmitAfterStopIsRejected) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.runtime.backend = si::runtime::Backend::kHtm;
+  SlowApp app;
+  Service<SlowApp> svc(app, cfg);
+  svc.stop();
+
+  const SubmitResult r = svc.submit(make_req(1));
+  EXPECT_EQ(r.admit, Admit::kStopped);
+  EXPECT_FALSE(r.accepted());
+  EXPECT_FALSE(svc.call(make_req(2), nullptr));
+
+  const auto c = svc.counters();
+  EXPECT_EQ(c.accepted, 0u);
+  EXPECT_EQ(c.completed, 0u);
+  EXPECT_EQ(c.rejected_stopped, 2u);
 }
 
 TEST(ServeMetrics, RequestTelemetryLandsInHistograms) {

@@ -15,8 +15,10 @@
 // Runs until SIGINT/SIGTERM, then drains in-flight requests and prints the
 // service counters plus request-latency percentiles. `-json FILE` also
 // writes an si-bench-v1 record of the run (with provenance).
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -54,13 +56,22 @@ void usage(const char* prog) {
 }
 
 /// One client connection. Worker completion callbacks and the front-end
-/// thread both write lines to the fd; `mu` serializes them and `alive`
-/// keeps completions off a closed socket. The connection is refcounted:
-/// one reference held by the front end, one per in-flight request.
+/// thread both write lines; `mu` serializes them and `alive` keeps
+/// completions off a closed socket. The fd is non-blocking: writers append
+/// to `outbuf` and flush only what the socket takes right now, the poll
+/// thread pushes the rest out on POLLOUT — a client that stops reading can
+/// stall only its own connection, never a shard worker. The connection is
+/// refcounted: one reference held by the front end, one per in-flight
+/// request.
 struct Conn {
+  /// Outbound-buffer cap: a client this far behind has stopped reading;
+  /// drop it rather than buffer responses without bound.
+  static constexpr std::size_t kMaxOutbuf = 1 << 20;
+
   int fd = -1;
   std::string inbuf;
   std::mutex mu;
+  std::string outbuf;  ///< guarded by mu: bytes the socket has not taken yet
   bool alive = true;
   std::atomic<int> refs{1};
 
@@ -75,10 +86,59 @@ struct Conn {
 
   void send_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mu);
-    if (alive) {
-      if (!si::serve::net::send_all(fd, line.data(), line.size())) {
-        alive = false;
+    if (!alive) return;
+    if (outbuf.size() + line.size() > kMaxOutbuf) {
+      alive = false;
+      return;
+    }
+    outbuf.append(line);
+    if (!flush_locked()) alive = false;
+  }
+
+  /// Whether the poll loop should watch this fd for writability.
+  bool want_write() {
+    std::lock_guard<std::mutex> lock(mu);
+    return alive && !outbuf.empty();
+  }
+
+  /// Flushes as much of `outbuf` as the socket accepts without blocking.
+  /// Requires `mu` held. Returns false on a fatal socket error (EAGAIN just
+  /// leaves the remainder buffered for the next POLLOUT).
+  bool flush_locked() {
+    std::size_t off = 0;
+    while (off < outbuf.size()) {
+      const ssize_t n =
+          ::send(fd, outbuf.data() + off, outbuf.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+      } else if (n < 0 && errno == EINTR) {
+        continue;
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        outbuf.clear();
+        return false;
       }
+    }
+    outbuf.erase(0, off);
+    return true;
+  }
+
+  /// Post-drain flush, once the poll loop has exited: bounded wait for the
+  /// socket to take the remaining responses so a dead client cannot stall
+  /// shutdown.
+  void final_flush() {
+    for (int rounds = 0; rounds < 20; ++rounds) {  // <= ~2 s per connection
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!alive || !flush_locked()) {
+          alive = false;
+          return;
+        }
+        if (outbuf.empty()) return;
+      }
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 100);
     }
   }
 };
@@ -118,13 +178,24 @@ void serve_loop(ServiceT& service, int listen_fd, FrontEndStats* stats) {
   while (!g_stop.load(std::memory_order_relaxed)) {
     pfds.clear();
     pfds.push_back({listen_fd, POLLIN, 0});
-    for (const Conn* conn : conns) pfds.push_back({conn->fd, POLLIN, 0});
+    for (Conn* conn : conns) {
+      const short ev =
+          static_cast<short>(POLLIN | (conn->want_write() ? POLLOUT : 0));
+      pfds.push_back({conn->fd, ev, 0});
+    }
     const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/100);
     if (ready <= 0) continue;
+
+    // pfds[1..n_polled] mirror conns[0..n_polled-1] as polled; accept()
+    // below may grow conns, so the revents loop must not run past the
+    // snapshot.
+    const std::size_t n_polled = conns.size();
 
     if (pfds[0].revents & POLLIN) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) {
+        const int fl = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
         auto* conn = new Conn;
         conn->fd = fd;
         conns.push_back(conn);
@@ -133,15 +204,37 @@ void serve_loop(ServiceT& service, int listen_fd, FrontEndStats* stats) {
     }
 
     // Iterate backwards so dropping a connection keeps earlier indices valid.
-    for (std::size_t i = conns.size(); i-- > 0;) {
+    for (std::size_t i = n_polled; i-- > 0;) {
       const pollfd& p = pfds[i + 1];
-      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      if ((p.revents & (POLLERR | POLLNVAL)) != 0) {
         drop_conn(i);
         continue;
       }
-      if ((p.revents & POLLIN) == 0) continue;
       Conn* conn = conns[i];
+      {
+        // A worker may have marked the connection dead (write failure or
+        // outbound-buffer cap); reap it here.
+        bool ok;
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          ok = conn->alive;
+          if (ok && (p.revents & POLLOUT) != 0) ok = conn->flush_locked();
+        }
+        if (!ok) {
+          drop_conn(i);
+          continue;
+        }
+      }
+      if ((p.revents & POLLIN) == 0) {
+        // POLLHUP without readable data: the peer is gone and nothing is
+        // left to read out of the socket buffer.
+        if ((p.revents & POLLHUP) != 0) drop_conn(i);
+        continue;
+      }
       const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        continue;  // spurious wakeup on the non-blocking fd
+      }
       if (n <= 0) {
         drop_conn(i);
         continue;
@@ -187,6 +280,13 @@ void serve_loop(ServiceT& service, int listen_fd, FrontEndStats* stats) {
     }
   }
 
+  // Shutdown: drain while the connections are still alive, so responses for
+  // in-flight requests reach their clients. stop() returns once every
+  // accepted request has completed (appending its response to the
+  // connection's outbuf); then push out what the sockets had not yet taken
+  // and close.
+  service.stop();
+  for (Conn* conn : conns) conn->final_flush();
   while (!conns.empty()) drop_conn(conns.size() - 1);
 }
 
@@ -206,9 +306,9 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
   std::fflush(stdout);
 
   FrontEndStats fes;
-  serve_loop(service, listen_fd, &fes);
+  serve_loop(service, listen_fd, &fes);  // drains + flushes before returning
   ::close(listen_fd);
-  service.stop();  // drain: every accepted request completes before this returns
+  service.stop();  // idempotent; serve_loop already stopped and drained
 
   const auto c = service.counters();
   const auto snap = metrics.snapshot();
@@ -217,12 +317,13 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
               static_cast<unsigned long long>(fes.requests_parsed),
               static_cast<unsigned long long>(fes.parse_errors));
   std::printf("si_serve: accepted=%llu completed=%llu failed=%llu "
-              "rejected-busy=%llu rejected-full=%llu\n",
+              "rejected-busy=%llu rejected-full=%llu rejected-stopped=%llu\n",
               static_cast<unsigned long long>(c.accepted),
               static_cast<unsigned long long>(c.completed),
               static_cast<unsigned long long>(c.failed),
               static_cast<unsigned long long>(c.rejected_busy),
-              static_cast<unsigned long long>(c.rejected_full));
+              static_cast<unsigned long long>(c.rejected_full),
+              static_cast<unsigned long long>(c.rejected_stopped));
   if (snap.request_latency.count() > 0) {
     std::printf("si_serve: request latency p50=%llu p99=%llu max=%llu ns "
                 "(queue depth p99=%llu)\n",
