@@ -9,7 +9,13 @@
 //    them read-only with no capacity bound;
 //  * SI-HTM keeps scaling into SMT levels (up to ~32-40 threads), the first
 //    HTM-based scheme to do so.
+// `-struct skiplist|bst|btree` swaps the flat hash map for a zoo structure
+// of the same footprint (elements = buckets x avg_chain, same RO mix);
+// tree lookups touch O(log n) lines instead of 200-node chains, so these
+// panels show HTM recovering once footprints fit — bench_maps' range scans
+// are where the zoo re-breaks it.
 #include "bench/common.hpp"
+#include "bench/struct_opt.hpp"
 #include "hashmap/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -18,6 +24,10 @@ int main(int argc, char** argv) {
   auto sink = si::bench::JsonSink::from_cli(cli, "fig6_hashmap_large_ro");
   const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
                                                   si::bench::System::kSiHtm};
+
+  const int zoo = si::bench::run_struct_panels(
+      cli, "Fig.6", systems, sweep, /*avg_chain=*/200, /*ro_pct=*/90, &sink);
+  if (zoo >= 0) return zoo;
 
   for (const bool high_contention : {false, true}) {
     si::hashmap::WorkloadConfig wcfg;

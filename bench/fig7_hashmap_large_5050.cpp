@@ -8,7 +8,10 @@
 //    their small write sets are capacity-bounded;
 //  * at high contention SI-HTM falls behind HTM: the quiescence phase delays
 //    aborting transactions, postponing the SGL fall-back.
+// `-struct skiplist|bst|btree` runs the same 50/50 mix over a zoo structure
+// of matching footprint (see bench/struct_opt.hpp).
 #include "bench/common.hpp"
+#include "bench/struct_opt.hpp"
 #include "hashmap/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +20,10 @@ int main(int argc, char** argv) {
   auto sink = si::bench::JsonSink::from_cli(cli, "fig7_hashmap_large_5050");
   const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
                                                   si::bench::System::kSiHtm};
+
+  const int zoo = si::bench::run_struct_panels(
+      cli, "Fig.7", systems, sweep, /*avg_chain=*/200, /*ro_pct=*/50, &sink);
+  if (zoo >= 0) return zoo;
 
   for (const bool high_contention : {false, true}) {
     si::hashmap::WorkloadConfig wcfg;

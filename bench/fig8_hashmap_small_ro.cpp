@@ -7,7 +7,10 @@
 //    relief;
 //  * SI-HTM still behaves well in SMT territory at low contention (TMCAM
 //    sharing hurts HTM first).
+// `-struct skiplist|bst|btree` runs the same 90% RO mix over a zoo structure
+// of matching (small) footprint (see bench/struct_opt.hpp).
 #include "bench/common.hpp"
+#include "bench/struct_opt.hpp"
 #include "hashmap/workload.hpp"
 
 int main(int argc, char** argv) {
@@ -16,6 +19,10 @@ int main(int argc, char** argv) {
   auto sink = si::bench::JsonSink::from_cli(cli, "fig8_hashmap_small_ro");
   const std::vector<si::bench::System> systems = {si::bench::System::kHtm,
                                                   si::bench::System::kSiHtm};
+
+  const int zoo = si::bench::run_struct_panels(
+      cli, "Fig.8", systems, sweep, /*avg_chain=*/50, /*ro_pct=*/90, &sink);
+  if (zoo >= 0) return zoo;
 
   for (const bool high_contention : {false, true}) {
     si::hashmap::WorkloadConfig wcfg;

@@ -50,6 +50,12 @@ class NodePool {
 
   std::size_t allocated() const noexcept { return arena_.size(); }
 
+  /// Stable-address arena, in allocation order. Exposed so tooling that
+  /// needs to map node addresses to reproducible ids (the schedule fuzzer's
+  /// history normalisation) can enumerate every node this pool ever handed
+  /// out without tracking allocations itself.
+  const std::deque<Node>& arena() const noexcept { return arena_; }
+
  private:
   std::deque<Node> arena_;  // stable addresses
   std::vector<Node*> free_;

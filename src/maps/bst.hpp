@@ -1,0 +1,381 @@
+// Transactional unbalanced binary search tree (internal BST, in-order
+// successor splice on two-child removal), plus crab-locking and coarse-lock
+// baselines over the same nodes.
+//
+// Workload keys are splitmix64-scrambled, so the unbalanced tree stays
+// O(log n) deep with high probability; depth guards bound the damage if an
+// optimistic reader (Silo) chases a transiently torn pointer.
+//
+// SI write-skew discipline (mirrors HashMap::remove): a remove re-writes the
+// victim's own child pointers, and the successor splice promotes its reads
+// of the successor's key/value to writes. Without these, two SI transactions
+// with disjoint write sets (remove of adjacent nodes, or an update racing the
+// splice that copies the successor) could both commit and lose one of the
+// effects; promotion turns every such pair into a WW conflict that
+// first-committer-wins resolves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "maps/maps.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace si::maps {
+
+class Bst {
+ public:
+  static constexpr int kMaxDepth = 512;  // traversal guard, not a structural cap
+
+  struct alignas(si::util::kLineSize) Node {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    si::util::Spinlock lock;  // fine-grained baseline only
+  };
+  static_assert(sizeof(Node) == si::util::kLineSize, "one node per line");
+
+  using Pool = si::hashmap::NodePool<Node>;
+  using ScratchT = Scratch<Node>;
+
+  // -- transactional operations (Tx concept) --------------------------------
+
+  template <typename Tx>
+  bool lookup(Tx& tx, std::uint64_t key, std::uint64_t* out) {
+    std::size_t budget = kTraversalBudget;
+    Node* cur = tx.read(&root_.node);
+    while (cur != nullptr && budget-- > 0) {
+      const std::uint64_t k = tx.read(&cur->key);
+      if (k == key) {
+        if (out != nullptr) *out = tx.read(&cur->value);
+        return true;
+      }
+      cur = tx.read(k < key ? &cur->right : &cur->left);
+    }
+    return false;
+  }
+
+  /// Insert-or-update. Returns true iff a fresh node was linked.
+  template <typename Tx>
+  bool insert(Tx& tx, std::uint64_t key, std::uint64_t value, ScratchT& s) {
+    std::size_t budget = kTraversalBudget;
+    Node* parent = nullptr;
+    bool right = false;
+    Node* cur = tx.read(&root_.node);
+    while (cur != nullptr) {
+      const std::uint64_t k = tx.read(&cur->key);
+      if (k == key) {
+        tx.write(&cur->value, value);
+        return false;
+      }
+      parent = cur;
+      right = k < key;
+      cur = tx.read(right ? &cur->right : &cur->left);
+      if (budget-- == 0) return false;  // torn traversal; commit will fail
+    }
+    Node* fresh = s.take();
+    tx.write(&fresh->key, key);
+    tx.write(&fresh->value, value);
+    tx.write(&fresh->left, static_cast<Node*>(nullptr));
+    tx.write(&fresh->right, static_cast<Node*>(nullptr));
+    if (parent == nullptr)
+      tx.write(&root_.node, fresh);
+    else
+      tx.write(right ? &parent->right : &parent->left, fresh);
+    return true;
+  }
+
+  /// Returns true iff present; *unlinked receives the physically removed
+  /// node (the victim itself, or the spliced in-order successor).
+  template <typename Tx>
+  bool remove(Tx& tx, std::uint64_t key, Node** unlinked) {
+    std::size_t budget = kTraversalBudget;
+    Node* parent = nullptr;
+    bool right = false;
+    Node* cur = tx.read(&root_.node);
+    while (cur != nullptr) {
+      const std::uint64_t k = tx.read(&cur->key);
+      if (k == key) break;
+      parent = cur;
+      right = k < key;
+      cur = tx.read(right ? &cur->right : &cur->left);
+      if (budget-- == 0) return false;
+    }
+    if (cur == nullptr) return false;
+    Node* l = tx.read(&cur->left);
+    Node* r = tx.read(&cur->right);
+    if (l == nullptr || r == nullptr) {
+      Node* child = l != nullptr ? l : r;
+      if (parent == nullptr)
+        tx.write(&root_.node, child);
+      else
+        tx.write(right ? &parent->right : &parent->left, child);
+      tx.write(&cur->left, l);  // read promotion (see header comment)
+      tx.write(&cur->right, r);
+      *unlinked = cur;
+      return true;
+    }
+    // Two children: copy the in-order successor s into cur, splice s out.
+    Node* sp = cur;
+    Node* s = r;
+    for (;;) {
+      Node* sl = tx.read(&s->left);
+      if (sl == nullptr || budget-- == 0) break;
+      sp = s;
+      s = sl;
+    }
+    const std::uint64_t sk = tx.read(&s->key);
+    const std::uint64_t sv = tx.read(&s->value);
+    Node* sr = tx.read(&s->right);
+    tx.write(&cur->key, sk);
+    tx.write(&cur->value, sv);
+    if (sp == cur)
+      tx.write(&cur->right, sr);
+    else
+      tx.write(&sp->left, sr);
+    tx.write(&s->key, sk);  // read promotion: an update of s's mapping now
+    tx.write(&s->value, sv);  // WW-conflicts with the splice instead of skewing
+    tx.write(&s->left, static_cast<Node*>(nullptr));
+    tx.write(&s->right, sr);
+    *unlinked = s;
+    return true;
+  }
+
+  /// Pruned in-order traversal of [lo, hi]; emit returns false to stop.
+  template <typename Tx, typename Emit>
+  void range(Tx& tx, std::uint64_t lo, std::uint64_t hi, Emit&& emit) {
+    std::size_t budget = kTraversalBudget;
+    range_rec(tx, tx.read(&root_.node), lo, hi, emit, budget, 0);
+  }
+
+  // -- fine-grained baseline: lock crabbing ---------------------------------
+  //
+  // Locks are only ever acquired along tree edges (root guard, then parent
+  // before child), which is a partial order no cycle can thread, so crabbing
+  // descents, the successor walk, and the path-locking range scan are all
+  // deadlock-free. Node fields only change under that node's lock (the root
+  // pointer under the root guard), and every reader holds the node's lock
+  // when it reads them.
+
+  bool fine_lookup(std::uint64_t key, std::uint64_t* out) {
+    root_guard_.lock();
+    Node* cur = root_.node;
+    if (cur == nullptr) {
+      root_guard_.unlock();
+      return false;
+    }
+    cur->lock.lock();
+    root_guard_.unlock();
+    for (;;) {
+      if (cur->key == key) {
+        if (out != nullptr) *out = cur->value;
+        cur->lock.unlock();
+        return true;
+      }
+      Node* nxt = cur->key < key ? cur->right : cur->left;
+      if (nxt == nullptr) {
+        cur->lock.unlock();
+        return false;
+      }
+      nxt->lock.lock();
+      cur->lock.unlock();
+      cur = nxt;
+    }
+  }
+
+  bool fine_insert(std::uint64_t key, std::uint64_t value, Pool& pool) {
+    root_guard_.lock();
+    Node* cur = root_.node;
+    if (cur == nullptr) {
+      root_.node = make_node(pool, key, value);
+      root_guard_.unlock();
+      return true;
+    }
+    cur->lock.lock();
+    root_guard_.unlock();
+    for (;;) {
+      if (cur->key == key) {
+        cur->value = value;
+        cur->lock.unlock();
+        return false;
+      }
+      Node*& slot = cur->key < key ? cur->right : cur->left;
+      if (slot == nullptr) {
+        slot = make_node(pool, key, value);
+        cur->lock.unlock();
+        return true;
+      }
+      Node* nxt = slot;
+      nxt->lock.lock();
+      cur->lock.unlock();
+      cur = nxt;
+    }
+  }
+
+  bool fine_remove(std::uint64_t key, Pool& pool) {
+    root_guard_.lock();
+    Node* parent = nullptr;  // nullptr: cur hangs off root_.node / root_guard_
+    Node* cur = root_.node;
+    if (cur == nullptr) {
+      root_guard_.unlock();
+      return false;
+    }
+    cur->lock.lock();
+    while (cur->key != key) {
+      Node* nxt = cur->key < key ? cur->right : cur->left;
+      if (nxt == nullptr) {
+        unlock_parent(parent);
+        cur->lock.unlock();
+        return false;
+      }
+      nxt->lock.lock();
+      unlock_parent(parent);
+      parent = cur;
+      cur = nxt;
+    }
+    Node* l = cur->left;
+    Node* r = cur->right;
+    if (l == nullptr || r == nullptr) {
+      set_parent_link(parent, cur, l != nullptr ? l : r);
+      unlock_parent(parent);
+      cur->lock.unlock();
+      // We held the parent and victim; nobody else can reference the victim
+      // (acquiring it requires the parent's lock), so immediate reuse is safe.
+      pool.release(cur);
+      return true;
+    }
+    unlock_parent(parent);
+    Node* sp = cur;
+    Node* s = r;
+    s->lock.lock();
+    for (;;) {
+      Node* sl = s->left;
+      if (sl == nullptr) break;
+      sl->lock.lock();
+      if (sp != cur) sp->lock.unlock();
+      sp = s;
+      s = sl;
+    }
+    cur->key = s->key;
+    cur->value = s->value;
+    if (sp == cur)
+      cur->right = s->right;
+    else
+      sp->left = s->right;
+    s->lock.unlock();
+    if (sp != cur) sp->lock.unlock();
+    cur->lock.unlock();
+    pool.release(s);
+    return true;
+  }
+
+  template <typename Emit>
+  void fine_range(std::uint64_t lo, std::uint64_t hi, Emit&& emit) {
+    root_guard_.lock();
+    Node* r = root_.node;
+    if (r == nullptr) {
+      root_guard_.unlock();
+      return;
+    }
+    r->lock.lock();
+    root_guard_.unlock();
+    fine_range_rec(r, lo, hi, emit);  // unlocks r
+  }
+
+  // -- non-transactional integrity check (quiesced callers only) ------------
+
+  bool structure_ok() {
+    std::size_t budget = kTraversalBudget;
+    return check_rec(root_.node, 0, ~std::uint64_t{0}, budget, 0);
+  }
+
+  Node** root_cell() noexcept { return &root_.node; }
+
+ private:
+  struct alignas(si::util::kLineSize) Root {
+    Node* node = nullptr;
+  };
+
+  template <typename Tx, typename Emit>
+  static bool range_rec(Tx& tx, Node* n, std::uint64_t lo, std::uint64_t hi,
+                        Emit& emit, std::size_t& budget, int depth) {
+    if (n == nullptr) return true;
+    if (depth > kMaxDepth || budget-- == 0) return false;
+    const std::uint64_t k = tx.read(&n->key);
+    if (k > lo &&
+        !range_rec(tx, tx.read(&n->left), lo, hi, emit, budget, depth + 1))
+      return false;
+    if (k >= lo && k <= hi && !emit(k, tx.read(&n->value))) return false;
+    if (k < hi)
+      return range_rec(tx, tx.read(&n->right), lo, hi, emit, budget, depth + 1);
+    return true;
+  }
+
+  /// n is locked on entry and unlocked before returning; children are locked
+  /// while their subtrees are visited (path locks, parent retained).
+  template <typename Emit>
+  static bool fine_range_rec(Node* n, std::uint64_t lo, std::uint64_t hi,
+                             Emit& emit) {
+    bool more = true;
+    Node* l = n->left;
+    Node* r = n->right;
+    const std::uint64_t k = n->key;
+    if (k > lo && l != nullptr) {
+      l->lock.lock();
+      more = fine_range_rec(l, lo, hi, emit);
+    }
+    if (more && k >= lo && k <= hi) more = emit(k, n->value);
+    if (more && k < hi && r != nullptr) {
+      r->lock.lock();
+      more = fine_range_rec(r, lo, hi, emit);
+    }
+    n->lock.unlock();
+    return more;
+  }
+
+  static bool check_rec(Node* n, std::uint64_t lo, std::uint64_t hi,
+                        std::size_t& budget, int depth) {
+    if (n == nullptr) return true;
+    if (depth > kMaxDepth || budget-- == 0) return false;
+    if (n->key < lo || n->key > hi) return false;
+    if (n->left != nullptr &&
+        (n->key == lo || !check_rec(n->left, lo, n->key - 1, budget, depth + 1)))
+      return false;
+    if (n->right != nullptr &&
+        (n->key == hi || !check_rec(n->right, n->key + 1, hi, budget, depth + 1)))
+      return false;
+    return true;
+  }
+
+  static Node* make_node(Pool& pool, std::uint64_t key, std::uint64_t value) {
+    Node* n = pool.allocate();
+    n->key = key;
+    n->value = value;
+    n->left = nullptr;
+    n->right = nullptr;
+    return n;
+  }
+
+  void set_parent_link(Node* parent, Node* cur, Node* child) {
+    if (parent == nullptr)
+      root_.node = child;
+    else if (parent->left == cur)
+      parent->left = child;
+    else
+      parent->right = child;
+  }
+
+  void unlock_parent(Node* parent) {
+    if (parent != nullptr)
+      parent->lock.unlock();
+    else
+      root_guard_.unlock();
+  }
+
+  Root root_;
+  si::util::Spinlock root_guard_;  // fine-grained baseline's root-pointer lock
+};
+
+}  // namespace si::maps

@@ -1,0 +1,525 @@
+// Transactional B+-tree (fanout 6, leaf-chained, split-on-insert, leaf-local
+// delete without rebalancing), plus latch-crabbing and coarse-lock baselines.
+//
+// One 128-byte line per node: header, 6 keys, 7 slots. Inner slots hold
+// children; leaf slots hold values, with slots[kFanout] doubling as the
+// next-leaf link that range scans walk. Keeping a node inside one line means
+// a split rewrites exactly three lines (left, right, parent) — a tiny ROT
+// write set — while an HTM+SGL reader still drags the whole root-to-leaf
+// search path plus every scanned leaf into transactional capacity.
+//
+// Delete never merges: an underfull (even empty) leaf stays linked and inner
+// separators keep routing correctly, which keeps the write-set footprint of
+// removal to a single leaf line. Concurrent same-leaf updates conflict on
+// the leaf's count/key words, so SI write skew cannot splice the chain apart.
+//
+// The split/insert arithmetic is written once against the Tx concept and
+// shared by the transactional path (real Tx handles) and the fine-grained
+// latch-crabbing path (DirectTx under per-node locks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "maps/maps.hpp"
+#include "util/cacheline.hpp"
+#include "util/spinlock.hpp"
+
+namespace si::maps {
+
+class Btree {
+ public:
+  static constexpr int kFanout = 6;    // max keys per node
+  static constexpr int kMaxDepth = 16; // path buffer bound (6^16 keys ≫ any test)
+
+  struct alignas(si::util::kLineSize) Node {
+    std::uint16_t count = 0;
+    std::uint8_t leaf = 1;
+    si::util::Spinlock lock;  // fine-grained baseline only
+    std::uint64_t keys[kFanout] = {};
+    // Inner: slots[0..count] are children. Leaf: slots[0..count-1] are
+    // values and slots[kFanout] is the next-leaf link.
+    std::uint64_t slots[kFanout + 1] = {};
+  };
+  static_assert(sizeof(Node) == si::util::kLineSize, "one node per line");
+
+  using Pool = si::hashmap::NodePool<Node>;
+  using ScratchT = Scratch<Node>;
+
+  static Node* as_node(std::uint64_t w) noexcept {
+    return reinterpret_cast<Node*>(static_cast<std::uintptr_t>(w));
+  }
+  static std::uint64_t as_word(Node* n) noexcept {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(n));
+  }
+
+  // -- transactional operations (Tx concept) --------------------------------
+
+  template <typename Tx>
+  bool lookup(Tx& tx, std::uint64_t key, std::uint64_t* out) {
+    Node* leafn = descend(tx, key, nullptr, nullptr);
+    if (leafn == nullptr) return false;
+    const int c = clamp_count(tx.read(&leafn->count));
+    for (int i = 0; i < c; ++i) {
+      if (tx.read(&leafn->keys[i]) == key) {
+        if (out != nullptr) *out = tx.read(&leafn->slots[i]);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Insert-or-update. Returns true iff the key was new.
+  template <typename Tx>
+  bool insert(Tx& tx, std::uint64_t key, std::uint64_t value, ScratchT& s) {
+    Node* root = tx.read(&root_.node);
+    if (root == nullptr) {
+      Node* fresh = s.take();
+      init_leaf(tx, fresh);
+      tx.write(&fresh->keys[0], key);
+      tx.write(&fresh->slots[0], value);
+      tx.write(&fresh->count, static_cast<std::uint16_t>(1));
+      tx.write(&root_.node, fresh);
+      return true;
+    }
+    PathEntry path[kMaxDepth];
+    int depth = 0;
+    Node* leafn = descend(tx, key, path, &depth);
+    if (leafn == nullptr) return false;  // torn traversal; commit will fail
+    bool existed = false;
+    if (leaf_upsert(tx, leafn, key, value, &existed)) return !existed;
+    // Leaf is full and the key is new: split, then push separators up.
+    Node* fresh = s.take();
+    std::uint64_t sep = 0;
+    Node* child = split_leaf(tx, leafn, key, value, fresh, &sep);
+    for (int d = depth - 1; d >= 0; --d) {
+      Node* p = path[d].node;
+      const int idx = path[d].idx;
+      const int pc = clamp_count(tx.read(&p->count));
+      if (pc < kFanout) {
+        inner_insert(tx, p, idx, sep, child);
+        return true;
+      }
+      Node* fresh2 = s.take();
+      std::uint64_t up = 0;
+      child = split_inner(tx, p, idx, sep, child, fresh2, &up);
+      sep = up;
+      // p keeps routing its left half; continue with (sep, child) one level up.
+    }
+    // The old root split: grow the tree by one level.
+    Node* nroot = s.take();
+    tx.write(&nroot->leaf, static_cast<std::uint8_t>(0));
+    tx.write(&nroot->count, static_cast<std::uint16_t>(1));
+    tx.write(&nroot->keys[0], sep);
+    tx.write(&nroot->slots[0], as_word(root));
+    tx.write(&nroot->slots[1], as_word(child));
+    tx.write(&root_.node, nroot);
+    return true;
+  }
+
+  /// Leaf-local delete; returns true iff present. *unlinked stays null — the
+  /// B+-tree never frees nodes (underfull leaves persist, see header).
+  template <typename Tx>
+  bool remove(Tx& tx, std::uint64_t key, Node** unlinked) {
+    (void)unlinked;
+    Node* leafn = descend(tx, key, nullptr, nullptr);
+    if (leafn == nullptr) return false;
+    return leaf_erase(tx, leafn, key);
+  }
+
+  /// Leaf-chain scan of [lo, hi]; emit returns false to stop.
+  template <typename Tx, typename Emit>
+  void range(Tx& tx, std::uint64_t lo, std::uint64_t hi, Emit&& emit) {
+    Node* leafn = descend(tx, lo, nullptr, nullptr);
+    std::size_t budget = kTraversalBudget;
+    while (leafn != nullptr && budget-- > 0) {
+      const int c = clamp_count(tx.read(&leafn->count));
+      for (int i = 0; i < c; ++i) {
+        const std::uint64_t k = tx.read(&leafn->keys[i]);
+        if (k > hi) return;
+        if (k >= lo && !emit(k, tx.read(&leafn->slots[i]))) return;
+      }
+      leafn = as_node(tx.read(&leafn->slots[kFanout]));
+    }
+  }
+
+  // -- fine-grained baseline: latch crabbing --------------------------------
+  //
+  // Lock order is (depth, key)-lexicographic: descents lock parent before
+  // child, the insert path retains ancestors only while a child may split
+  // ("safe node" rule), and range scans hand over locks left-to-right along
+  // the leaf chain. Every acquisition strictly increases in that order, so
+  // no cycle can form.
+
+  bool fine_lookup(std::uint64_t key, std::uint64_t* out) {
+    Node* leafn = fine_descend(key);
+    if (leafn == nullptr) return false;
+    const int c = clamp_count(leafn->count);
+    bool found = false;
+    for (int i = 0; i < c && !found; ++i) {
+      if (leafn->keys[i] == key) {
+        if (out != nullptr) *out = leafn->slots[i];
+        found = true;
+      }
+    }
+    leafn->lock.unlock();
+    return found;
+  }
+
+  bool fine_insert(std::uint64_t key, std::uint64_t value, Pool& pool) {
+    DirectTx tx;
+    root_guard_.lock();
+    bool guard_held = true;
+    Node* n = root_.node;
+    if (n == nullptr) {
+      Node* fresh = pool.allocate();
+      init_leaf(tx, fresh);
+      fresh->keys[0] = key;
+      fresh->slots[0] = value;
+      fresh->count = 1;
+      root_.node = fresh;
+      root_guard_.unlock();
+      return true;
+    }
+    // held[] is the retained root-to-current chain: the deepest safe
+    // (non-full) node plus every full node below it.
+    Node* held[kMaxDepth + 1];
+    int nh = 0;
+    n->lock.lock();
+    held[nh++] = n;
+    if (n->count < kFanout && guard_held) {
+      root_guard_.unlock();
+      guard_held = false;
+    }
+    while (!n->leaf) {
+      const int idx = route(n, key);
+      Node* c = as_node(n->slots[idx]);
+      c->lock.lock();
+      held[nh++] = c;
+      if (c->count < kFanout) {
+        for (int i = 0; i < nh - 1; ++i) held[i]->lock.unlock();
+        held[0] = c;
+        nh = 1;
+        if (guard_held) {
+          root_guard_.unlock();
+          guard_held = false;
+        }
+      }
+      n = c;
+    }
+    bool existed = false;
+    if (leaf_upsert(tx, n, key, value, &existed)) {
+      for (int i = 0; i < nh; ++i) held[i]->lock.unlock();
+      if (guard_held) root_guard_.unlock();
+      return !existed;
+    }
+    // Split cascade: every node in held[] above the leaf is full by
+    // construction, and the topmost held node (or the root guard) absorbs
+    // the final separator.
+    std::uint64_t sep = 0;
+    Node* child = split_leaf(tx, n, key, value, pool.allocate(), &sep);
+    int d = nh - 2;  // parent of the leaf within held[]
+    while (d >= 0) {
+      Node* p = held[d];
+      const int idx = route(p, sep);
+      if (p->count < kFanout) {
+        inner_insert(tx, p, idx, sep, child);
+        break;
+      }
+      std::uint64_t up = 0;
+      child = split_inner(tx, p, idx, sep, child, pool.allocate(), &up);
+      sep = up;
+      --d;
+    }
+    if (d < 0) {
+      Node* old_root = held[0];
+      Node* nroot = pool.allocate();
+      nroot->leaf = 0;
+      nroot->count = 1;
+      nroot->keys[0] = sep;
+      nroot->slots[0] = as_word(old_root);
+      nroot->slots[1] = as_word(child);
+      nroot->slots[kFanout] = 0;
+      root_.node = nroot;  // root guard is necessarily still held here
+    }
+    for (int i = 0; i < nh; ++i) held[i]->lock.unlock();
+    if (guard_held) root_guard_.unlock();
+    return true;
+  }
+
+  bool fine_remove(std::uint64_t key, Pool& pool) {
+    (void)pool;
+    Node* leafn = fine_descend(key);
+    if (leafn == nullptr) return false;
+    DirectTx tx;
+    const bool found = leaf_erase(tx, leafn, key);
+    leafn->lock.unlock();
+    return found;
+  }
+
+  template <typename Emit>
+  void fine_range(std::uint64_t lo, std::uint64_t hi, Emit&& emit) {
+    Node* leafn = fine_descend(lo);
+    while (leafn != nullptr) {
+      const int c = clamp_count(leafn->count);
+      for (int i = 0; i < c; ++i) {
+        const std::uint64_t k = leafn->keys[i];
+        if (k > hi || (k >= lo && !emit(k, leafn->slots[i]))) {
+          leafn->lock.unlock();
+          return;
+        }
+      }
+      Node* nxt = as_node(leafn->slots[kFanout]);
+      if (nxt != nullptr) nxt->lock.lock();
+      leafn->lock.unlock();
+      leafn = nxt;
+    }
+  }
+
+  // -- non-transactional integrity check (quiesced callers only) ------------
+
+  /// Sorted keys in every node, children within separator bounds, uniform
+  /// leaf depth, counts within fanout.
+  bool structure_ok() {
+    Node* root = root_.node;
+    if (root == nullptr) return true;
+    int leaf_depth = -1;
+    std::size_t budget = kTraversalBudget;
+    return check_rec(root, 0, ~std::uint64_t{0}, 0, &leaf_depth, budget);
+  }
+
+  Node** root_cell() noexcept { return &root_.node; }
+
+ private:
+  struct alignas(si::util::kLineSize) Root {
+    Node* node = nullptr;
+  };
+  struct PathEntry {
+    Node* node;
+    int idx;
+  };
+
+  static int clamp_count(int c) noexcept {
+    return c < 0 ? 0 : (c > kFanout ? kFanout : c);
+  }
+
+  /// Child index for `key` in inner node n: first i with key < keys[i].
+  /// keys[i] is the smallest key reachable through child i+1.
+  static int route(Node* n, std::uint64_t key) noexcept {
+    const int c = clamp_count(n->count);
+    int i = 0;
+    while (i < c && key >= n->keys[i]) ++i;
+    return i;
+  }
+
+  template <typename Tx>
+  static void init_leaf(Tx& tx, Node* n) {
+    tx.write(&n->leaf, static_cast<std::uint8_t>(1));
+    tx.write(&n->count, static_cast<std::uint16_t>(0));
+    tx.write(&n->slots[kFanout], std::uint64_t{0});
+  }
+
+  /// Walks to the leaf that owns `key`, optionally recording the inner path.
+  /// Returns nullptr on an empty tree or a torn traversal.
+  template <typename Tx>
+  Node* descend(Tx& tx, std::uint64_t key, PathEntry* path, int* depth_out) {
+    Node* n = tx.read(&root_.node);
+    int depth = 0;
+    while (n != nullptr && tx.read(&n->leaf) == 0) {
+      const int c = clamp_count(tx.read(&n->count));
+      int i = 0;
+      while (i < c && key >= tx.read(&n->keys[i])) ++i;
+      if (depth >= kMaxDepth) return nullptr;  // torn: deeper than possible
+      if (path != nullptr) path[depth] = PathEntry{n, i};
+      ++depth;
+      n = as_node(tx.read(&n->slots[i]));
+    }
+    if (depth_out != nullptr) *depth_out = depth;
+    return n;
+  }
+
+  /// Lock-coupling descent for the read-side baselines; returns the leaf,
+  /// locked, or nullptr for an empty tree.
+  Node* fine_descend(std::uint64_t key) {
+    root_guard_.lock();
+    Node* n = root_.node;
+    if (n == nullptr) {
+      root_guard_.unlock();
+      return nullptr;
+    }
+    n->lock.lock();
+    root_guard_.unlock();
+    while (!n->leaf) {
+      Node* c = as_node(n->slots[route(n, key)]);
+      c->lock.lock();
+      n->lock.unlock();
+      n = c;
+    }
+    return n;
+  }
+
+  /// In-place update or non-splitting insert. Returns false iff the leaf is
+  /// full and the key is absent (caller must split); *existed reports which
+  /// case happened on success.
+  template <typename Tx>
+  static bool leaf_upsert(Tx& tx, Node* leafn, std::uint64_t key,
+                          std::uint64_t value, bool* existed) {
+    const int c = clamp_count(tx.read(&leafn->count));
+    int pos = 0;
+    while (pos < c && tx.read(&leafn->keys[pos]) < key) ++pos;
+    if (pos < c && tx.read(&leafn->keys[pos]) == key) {
+      tx.write(&leafn->slots[pos], value);
+      *existed = true;
+      return true;
+    }
+    *existed = false;
+    if (c == kFanout) return false;
+    for (int j = c; j > pos; --j) {
+      tx.write(&leafn->keys[j], tx.read(&leafn->keys[j - 1]));
+      tx.write(&leafn->slots[j], tx.read(&leafn->slots[j - 1]));
+    }
+    tx.write(&leafn->keys[pos], key);
+    tx.write(&leafn->slots[pos], value);
+    tx.write(&leafn->count, static_cast<std::uint16_t>(c + 1));
+    return true;
+  }
+
+  template <typename Tx>
+  static bool leaf_erase(Tx& tx, Node* leafn, std::uint64_t key) {
+    const int c = clamp_count(tx.read(&leafn->count));
+    for (int i = 0; i < c; ++i) {
+      if (tx.read(&leafn->keys[i]) != key) continue;
+      for (int j = i; j + 1 < c; ++j) {
+        tx.write(&leafn->keys[j], tx.read(&leafn->keys[j + 1]));
+        tx.write(&leafn->slots[j], tx.read(&leafn->slots[j + 1]));
+      }
+      tx.write(&leafn->count, static_cast<std::uint16_t>(c - 1));
+      return true;
+    }
+    return false;
+  }
+
+  /// Splits a full leaf while inserting (key, value); initialises `fresh` as
+  /// the right sibling, links it into the chain, and reports the separator
+  /// (the right node's first key). Returns fresh.
+  template <typename Tx>
+  static Node* split_leaf(Tx& tx, Node* leafn, std::uint64_t key,
+                          std::uint64_t value, Node* fresh,
+                          std::uint64_t* sep_out) {
+    std::uint64_t ks[kFanout + 1];
+    std::uint64_t vs[kFanout + 1];
+    int pos = 0;
+    while (pos < kFanout && tx.read(&leafn->keys[pos]) < key) ++pos;
+    for (int i = 0, j = 0; i < kFanout + 1; ++i) {
+      if (i == pos) {
+        ks[i] = key;
+        vs[i] = value;
+      } else {
+        ks[i] = tx.read(&leafn->keys[j]);
+        vs[i] = tx.read(&leafn->slots[j]);
+        ++j;
+      }
+    }
+    constexpr int kLeft = (kFanout + 1) / 2;
+    constexpr int kRight = kFanout + 1 - kLeft;
+    init_leaf(tx, fresh);
+    for (int i = 0; i < kLeft; ++i) {
+      tx.write(&leafn->keys[i], ks[i]);
+      tx.write(&leafn->slots[i], vs[i]);
+    }
+    tx.write(&leafn->count, static_cast<std::uint16_t>(kLeft));
+    for (int i = 0; i < kRight; ++i) {
+      tx.write(&fresh->keys[i], ks[kLeft + i]);
+      tx.write(&fresh->slots[i], vs[kLeft + i]);
+    }
+    tx.write(&fresh->count, static_cast<std::uint16_t>(kRight));
+    tx.write(&fresh->slots[kFanout], tx.read(&leafn->slots[kFanout]));
+    tx.write(&leafn->slots[kFanout], as_word(fresh));
+    *sep_out = ks[kLeft];
+    return fresh;
+  }
+
+  /// Inserts separator `sep` with right-child `child` into inner node n at
+  /// routing position idx (n has spare capacity).
+  template <typename Tx>
+  static void inner_insert(Tx& tx, Node* n, int idx, std::uint64_t sep,
+                           Node* child) {
+    const int c = clamp_count(tx.read(&n->count));
+    for (int j = c; j > idx; --j)
+      tx.write(&n->keys[j], tx.read(&n->keys[j - 1]));
+    for (int j = c + 1; j > idx + 1; --j)
+      tx.write(&n->slots[j], tx.read(&n->slots[j - 1]));
+    tx.write(&n->keys[idx], sep);
+    tx.write(&n->slots[idx + 1], as_word(child));
+    tx.write(&n->count, static_cast<std::uint16_t>(c + 1));
+  }
+
+  /// Splits a full inner node while inserting (sep, child) at idx. The
+  /// median separator moves up via *sep_out; returns the right sibling.
+  template <typename Tx>
+  static Node* split_inner(Tx& tx, Node* n, int idx, std::uint64_t sep,
+                           Node* child, Node* fresh, std::uint64_t* sep_out) {
+    std::uint64_t ks[kFanout + 1];
+    std::uint64_t cs[kFanout + 2];
+    for (int i = 0, j = 0; i < kFanout + 1; ++i) {
+      if (i == idx) {
+        ks[i] = sep;
+      } else {
+        ks[i] = tx.read(&n->keys[j]);
+        ++j;
+      }
+    }
+    cs[0] = tx.read(&n->slots[0]);
+    for (int i = 1, j = 1; i < kFanout + 2; ++i) {
+      if (i == idx + 1) {
+        cs[i] = as_word(child);
+      } else {
+        cs[i] = tx.read(&n->slots[j]);
+        ++j;
+      }
+    }
+    constexpr int kLeft = (kFanout + 1) / 2;  // keys kept left
+    constexpr int kRight = kFanout - kLeft;   // keys moved right; ks[kLeft] up
+    for (int i = 0; i < kLeft; ++i) tx.write(&n->keys[i], ks[i]);
+    for (int i = 0; i <= kLeft; ++i) tx.write(&n->slots[i], cs[i]);
+    tx.write(&n->count, static_cast<std::uint16_t>(kLeft));
+    tx.write(&fresh->leaf, static_cast<std::uint8_t>(0));
+    for (int i = 0; i < kRight; ++i)
+      tx.write(&fresh->keys[i], ks[kLeft + 1 + i]);
+    for (int i = 0; i <= kRight; ++i)
+      tx.write(&fresh->slots[i], cs[kLeft + 1 + i]);
+    tx.write(&fresh->count, static_cast<std::uint16_t>(kRight));
+    tx.write(&fresh->slots[kFanout], std::uint64_t{0});
+    *sep_out = ks[kLeft];
+    return fresh;
+  }
+
+  bool check_rec(Node* n, std::uint64_t lo, std::uint64_t hi, int depth,
+                 int* leaf_depth, std::size_t& budget) {
+    if (depth > kMaxDepth || budget-- == 0) return false;
+    const int c = clamp_count(n->count);
+    if (static_cast<int>(n->count) > kFanout) return false;
+    for (int i = 0; i < c; ++i) {
+      if (n->keys[i] < lo || n->keys[i] > hi) return false;
+      if (i > 0 && n->keys[i] <= n->keys[i - 1]) return false;
+    }
+    if (n->leaf) {
+      if (*leaf_depth < 0) *leaf_depth = depth;
+      return *leaf_depth == depth;
+    }
+    if (c == 0) return false;  // inner nodes always route
+    for (int i = 0; i <= c; ++i) {
+      Node* ch = as_node(n->slots[i]);
+      if (ch == nullptr) return false;
+      const std::uint64_t clo = i == 0 ? lo : n->keys[i - 1];
+      const std::uint64_t chi = i == c ? hi : n->keys[i] - 1;
+      if (!check_rec(ch, clo, chi, depth + 1, leaf_depth, budget)) return false;
+    }
+    return true;
+  }
+
+  Root root_;
+  si::util::Spinlock root_guard_;  // fine-grained baseline's root lock
+};
+
+}  // namespace si::maps

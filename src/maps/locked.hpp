@@ -1,0 +1,99 @@
+// Lock-based baselines for the map zoo.
+//
+// Coarse mode is literally "one global spinlock around the unchanged
+// transactional code" — operations run through DirectTx, so the structure
+// logic is shared, not re-implemented. Fine mode dispatches to each
+// structure's hand-over-hand / crabbing methods.
+//
+// Both modes busy-wait on util::Spinlock, which would deadlock the
+// cooperative fiber scheduler (a spinning fiber never yields), so locked
+// baselines only ever run on real threads via runtime/driver.hpp — never
+// inside the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "maps/maps.hpp"
+#include "util/spinlock.hpp"
+
+namespace si::maps {
+
+enum class LockMode { kCoarse, kFine };
+
+inline constexpr std::string_view to_string(LockMode m) {
+  return m == LockMode::kCoarse ? "coarse" : "fine";
+}
+
+template <typename Map>
+class LockedMap {
+ public:
+  using ScratchT = typename Map::ScratchT;
+
+  explicit LockedMap(LockMode mode) : mode_(mode) {}
+
+  bool get(std::uint64_t key, std::uint64_t* out) {
+    if (mode_ == LockMode::kFine) return map_.fine_lookup(key, out);
+    std::lock_guard<si::util::Spinlock> g(global_);
+    DirectTx tx;
+    return map_.lookup(tx, key, out);
+  }
+
+  bool put(std::uint64_t key, std::uint64_t value, ScratchT& s) {
+    if (mode_ == LockMode::kFine)
+      return map_.fine_insert(key, value, s.pool());
+    bool linked = false;
+    {
+      std::lock_guard<si::util::Spinlock> g(global_);
+      DirectTx tx;
+      s.reset();
+      linked = map_.insert(tx, key, value, s);
+    }
+    s.settle();
+    return linked;
+  }
+
+  bool del(std::uint64_t key, ScratchT& s) {
+    if (mode_ == LockMode::kFine) return map_.fine_remove(key, s.pool());
+    typename Map::Node* unlinked = nullptr;
+    bool found = false;
+    {
+      std::lock_guard<si::util::Spinlock> g(global_);
+      DirectTx tx;
+      found = map_.remove(tx, key, &unlinked);
+    }
+    // The global lock quiesces all readers, so unlinked nodes are
+    // immediately reusable — no generation deferral needed.
+    if (unlinked != nullptr) s.pool().release(unlinked);
+    return found;
+  }
+
+  std::size_t range(std::uint64_t lo, std::uint64_t hi, RangeEntry* out,
+                    std::size_t cap) {
+    if (cap == 0) return 0;
+    std::size_t n = 0;
+    auto emit = [&](std::uint64_t k, std::uint64_t v) {
+      out[n++] = RangeEntry{k, v};
+      return n < cap;
+    };
+    if (mode_ == LockMode::kFine) {
+      map_.fine_range(lo, hi, emit);
+    } else {
+      std::lock_guard<si::util::Spinlock> g(global_);
+      DirectTx tx;
+      map_.range(tx, lo, hi, emit);
+    }
+    return n;
+  }
+
+  Map& map() noexcept { return map_; }
+  LockMode mode() const noexcept { return mode_; }
+
+ private:
+  Map map_;
+  si::util::Spinlock global_;
+  LockMode mode_;
+};
+
+}  // namespace si::maps

@@ -1,0 +1,202 @@
+// Map-zoo workload drivers: the transactional mix for the fig benches and
+// the simulator, and a locked-baseline mix for real-thread runs.
+//
+// Op mix: `range_pct` range scans + `lookup_pct` point lookups (both
+// read-only) with the remainder updates that alternate insert/remove of the
+// previously inserted key, keeping the live size stationary (same policy as
+// the hash-map workload). Range scans are the zoo's centerpiece: one scan
+// reads ~range hits × 1 line plus the descent, which overflows HTM+SGL's
+// 64-line read capacity and lands it on the SGL, while SI-HTM serves the
+// same scan from the non-transactional read path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <variant>
+
+#include "maps/bst.hpp"
+#include "maps/btree.hpp"
+#include "maps/locked.hpp"
+#include "maps/maps.hpp"
+#include "maps/skiplist.hpp"
+#include "util/rng.hpp"
+
+namespace si::maps {
+
+struct MapWorkloadConfig {
+  Struct structure = Struct::kSkiplist;
+  std::size_t elements = 10000;     ///< seeded draws (live size ≈ distinct keys)
+  std::uint64_t key_space_factor = 2;  ///< keys drawn from [1, factor*elements]
+  unsigned lookup_pct = 65;         ///< point lookups (read-only)
+  unsigned range_pct = 25;          ///< range scans (read-only)
+  std::uint64_t range_width = 100;  ///< key-space span of one scan
+  std::uint64_t seed = 42;
+};
+
+inline constexpr std::size_t kWorkloadRangeCap = 256;
+
+/// Owns one map instance plus per-thread pools/RNGs; exposes step(cc, tid).
+template <typename Map>
+class MapWorkload {
+ public:
+  MapWorkload(const MapWorkloadConfig& cfg, int max_threads) : cfg_(cfg) {
+    key_space_ = cfg.elements * cfg.key_space_factor;
+    if (key_space_ == 0) key_space_ = 1;
+    for (int t = 0; t < max_threads; ++t)
+      threads_.emplace_back(cfg.seed ^ (0x1234567ULL * (t + 1)));
+    live_ = map_seed(map_, cfg.elements, key_space_, cfg.seed,
+                     threads_.front().scratch);
+  }
+
+  Map& map() noexcept { return map_; }
+  std::uint64_t key_space() const noexcept { return key_space_; }
+  std::size_t seeded() const noexcept { return live_; }
+
+  template <typename CC>
+  void step(CC& cc, int tid) {
+    PerThread& me = threads_[static_cast<std::size_t>(tid)];
+    const unsigned pick = static_cast<unsigned>(me.rng.below(100));
+    const std::uint64_t key = 1 + me.rng.below(key_space_);
+
+    if (pick < cfg_.range_pct) {
+      const std::uint64_t hi = key + cfg_.range_width - 1;
+      me.sink = me.sink + map_range(map_, cc, key, hi, me.buf, kWorkloadRangeCap);
+      return;
+    }
+    if (pick < cfg_.range_pct + cfg_.lookup_pct) {
+      std::uint64_t value = 0;
+      me.sink = me.sink + (map_get(map_, cc, key, &value) ? value : 0);
+      return;
+    }
+    if (!me.insert_pending) {
+      map_put(map_, cc, key, key * 3 + 1, me.scratch);
+      me.insert_pending = true;
+      me.last_key = key;
+    } else {
+      map_del(map_, cc, me.last_key, me.scratch);
+      me.insert_pending = false;
+    }
+  }
+
+ private:
+  struct PerThread {
+    explicit PerThread(std::uint64_t seed) : rng(seed), scratch(pool) {}
+    si::util::Xoshiro256 rng;
+    typename Map::Pool pool;
+    typename Map::ScratchT scratch;
+    bool insert_pending = false;
+    std::uint64_t last_key = 0;
+    // Per-thread anti-DCE sink: a shared one would be a data race on the
+    // real-thread driver (TSan lane).
+    volatile std::uint64_t sink = 0;
+    RangeEntry buf[kWorkloadRangeCap];
+  };
+
+  MapWorkloadConfig cfg_;
+  Map map_;
+  std::uint64_t key_space_ = 1;
+  std::size_t live_ = 0;
+  std::deque<PerThread> threads_;  // stable addresses: scratch points at pool
+};
+
+/// Struct-erased workload so fig benches can pick the structure at runtime.
+class AnyMapWorkload {
+ public:
+  AnyMapWorkload(const MapWorkloadConfig& cfg, int max_threads) {
+    switch (cfg.structure) {
+      case Struct::kSkiplist:
+        w_.emplace<MapWorkload<SkipList>>(cfg, max_threads);
+        break;
+      case Struct::kBst:
+        w_.emplace<MapWorkload<Bst>>(cfg, max_threads);
+        break;
+      case Struct::kBtree:
+        w_.emplace<MapWorkload<Btree>>(cfg, max_threads);
+        break;
+    }
+  }
+
+  template <typename CC>
+  void step(CC& cc, int tid) {
+    std::visit(
+        [&](auto& w) {
+          using W = std::decay_t<decltype(w)>;
+          if constexpr (!std::is_same_v<W, std::monostate>) w.step(cc, tid);
+        },
+        w_);
+  }
+
+ private:
+  std::variant<std::monostate, MapWorkload<SkipList>, MapWorkload<Bst>,
+               MapWorkload<Btree>>
+      w_;
+};
+
+/// Same mix against a LockedMap; runs on real threads (driver.hpp) only —
+/// the spinning baselines must not enter the cooperative fiber sim. Tracks
+/// completed ops per thread since locked runs have no ThreadStats.
+template <typename Map>
+class LockedWorkload {
+ public:
+  LockedWorkload(const MapWorkloadConfig& cfg, LockMode mode, int max_threads)
+      : cfg_(cfg), map_(mode) {
+    key_space_ = cfg.elements * cfg.key_space_factor;
+    if (key_space_ == 0) key_space_ = 1;
+    for (int t = 0; t < max_threads; ++t)
+      threads_.emplace_back(cfg.seed ^ (0x1234567ULL * (t + 1)));
+    map_seed(map_.map(), cfg.elements, key_space_, cfg.seed,
+             threads_.front().scratch);
+  }
+
+  void step(int tid) {
+    PerThread& me = threads_[static_cast<std::size_t>(tid)];
+    const unsigned pick = static_cast<unsigned>(me.rng.below(100));
+    const std::uint64_t key = 1 + me.rng.below(key_space_);
+    if (pick < cfg_.range_pct) {
+      me.sink = me.sink + map_.range(key, key + cfg_.range_width - 1, me.buf,
+                                     kWorkloadRangeCap);
+    } else if (pick < cfg_.range_pct + cfg_.lookup_pct) {
+      std::uint64_t value = 0;
+      me.sink = me.sink + (map_.get(key, &value) ? value : 0);
+    } else if (!me.insert_pending) {
+      map_.put(key, key * 3 + 1, me.scratch);
+      me.insert_pending = true;
+      me.last_key = key;
+    } else {
+      map_.del(me.last_key, me.scratch);
+      me.insert_pending = false;
+    }
+    ++me.ops;
+  }
+
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const auto& t : threads_) n += t.ops;
+    return n;
+  }
+
+  LockedMap<Map>& map() noexcept { return map_; }
+
+ private:
+  struct PerThread {
+    explicit PerThread(std::uint64_t seed) : rng(seed), scratch(pool) {}
+    si::util::Xoshiro256 rng;
+    typename Map::Pool pool;
+    typename Map::ScratchT scratch;
+    bool insert_pending = false;
+    std::uint64_t last_key = 0;
+    std::uint64_t ops = 0;
+    // Per-thread anti-DCE sink: a shared one is a cross-thread data race
+    // under the real-thread driver (caught by the TSan lane).
+    volatile std::uint64_t sink = 0;
+    RangeEntry buf[kWorkloadRangeCap];
+  };
+
+  MapWorkloadConfig cfg_;
+  LockedMap<Map> map_;
+  std::uint64_t key_space_ = 1;
+  std::deque<PerThread> threads_;
+};
+
+}  // namespace si::maps

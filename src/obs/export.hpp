@@ -72,13 +72,15 @@ inline void event_head(si::util::JsonWriter& w, std::string_view name,
 
 inline void instant(si::util::JsonWriter& w, std::string_view name, int tid,
                     double ts_ns, std::uint64_t epoch, std::string_view akey,
-                    std::uint64_t aval) {
+                    std::uint64_t aval, std::string_view bkey = {},
+                    std::uint64_t bval = 0) {
   event_head(w, name, "i", tid, ts_ns);
   w.key("s"); w.value("t");
   w.key("args");
   w.begin_object();
   w.key("epoch"); w.value(epoch);
   if (!akey.empty()) { w.key(akey); w.value(aval); }
+  if (!bkey.empty()) { w.key(bkey); w.value(bval); }
   w.end_object();
   w.end_object();
 }
@@ -189,7 +191,9 @@ inline void write_chrome_trace(std::ostream& os, const Tracer& tracer,
           instant(w, "req-dequeue", tid, r.ts_ns, r.epoch, "depth", r.arg);
           break;
         case TraceEventKind::kReqComplete:
-          instant(w, "req-complete", tid, r.ts_ns, r.epoch, "status", r.arg);
+          // arg packs (app opcode << 8) | status; render both.
+          instant(w, "req-complete", tid, r.ts_ns, r.epoch, "status",
+                  r.arg & 0xFF, "op", r.arg >> 8);
           break;
         default:
           break;

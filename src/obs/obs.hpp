@@ -104,10 +104,15 @@ struct ObsConfig {
   }
 
   /// A request completed; `enqueue_ns` is its Service::submit timestamp, so
-  /// the recorded latency covers queueing + execution.
-  void req_complete(int tid, double now, double enqueue_ns,
+  /// the recorded latency covers queueing + execution. The trace arg packs
+  /// the app opcode above the status byte ((op << 8) | status), so per-op
+  /// latency breakdowns (point ops vs range scans) fall out of the trace.
+  void req_complete(int tid, double now, double enqueue_ns, std::uint16_t op,
                     std::uint32_t status) const noexcept {
-    if (tracer) tracer->emit(tid, TraceEventKind::kReqComplete, now, status);
+    if (tracer) {
+      tracer->emit(tid, TraceEventKind::kReqComplete, now,
+                   static_cast<std::uint32_t>(op) << 8 | (status & 0xFF));
+    }
     if (metrics) {
       metrics->of(tid).request_latency.record(delta_ns(enqueue_ns, now));
     }

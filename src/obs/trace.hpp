@@ -63,7 +63,7 @@ enum class TraceEventKind : std::uint8_t {
   kHwRollback,         ///< execution layer rolled a tx back; arg: cause<<16|victim
   kHwKill,             ///< kill initiated against another thread; arg: victim tid
   kReqDequeue,         ///< serve: shard worker took a batch; arg: queue depth
-  kReqComplete,        ///< serve: request completed; arg: Status
+  kReqComplete,        ///< serve: request completed; arg: (app op << 8) | Status
   kKindCount_,
 };
 

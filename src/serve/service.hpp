@@ -245,7 +245,7 @@ class Service {
     if (resp.latency_ns < 0) resp.latency_ns = 0;
     if (obs.enabled()) {
       obs.req_complete(tid, req.enqueue_ns + resp.latency_ns, req.enqueue_ns,
-                       static_cast<std::uint32_t>(resp.status));
+                       req.op, static_cast<std::uint32_t>(resp.status));
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (resp.status == Status::kFailed) {

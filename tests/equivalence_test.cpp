@@ -22,6 +22,10 @@
 #include "baselines/silo.hpp"
 #include "check/history.hpp"
 #include "check/verify.hpp"
+#include "maps/bst.hpp"
+#include "maps/btree.hpp"
+#include "maps/maps.hpp"
+#include "maps/skiplist.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -314,6 +318,231 @@ TEST_P(EquivalenceTest, RawRot) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(1u, 7u, 42u, 20260807u));
+
+// --- map-structure scripts (ISSUE 6) ----------------------------------------
+//
+// The workload zoo (src/maps/) must behave identically across substrates:
+// the same deterministic get/put/del/range script, run single-threaded over
+// every protocol on real threads and in the simulator, has to produce the
+// same per-op return values, the same final ordered dump, the same
+// commit/abort accounting, and SI-admissible histories on both sides.
+// Allocation is the interesting hazard here — Scratch must hand retried
+// bodies the same nodes in the same order on either substrate, or the final
+// trees diverge physically and the dumps disagree.
+
+enum class MapOpKind { kGet, kPut, kDel, kRange };
+
+struct MapOp {
+  MapOpKind kind = MapOpKind::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t val = 0;
+  std::uint64_t hi = 0;
+};
+
+constexpr std::uint64_t kMapKeySpace = 64;
+constexpr std::size_t kMapSeedElems = 24;
+constexpr int kMapSteps = 120;
+constexpr std::size_t kMapScanCap = 48;
+
+std::vector<MapOp> make_map_script(std::uint64_t seed) {
+  si::util::Xoshiro256 rng(seed);
+  std::vector<MapOp> script;
+  script.reserve(kMapSteps);
+  for (int i = 0; i < kMapSteps; ++i) {
+    MapOp op;
+    const std::uint64_t d = rng.below(100);
+    op.key = 1 + rng.below(kMapKeySpace);
+    op.val = rng.uniform(1, 1 << 20);
+    op.hi = op.key + rng.below(24);
+    op.kind = d < 25   ? MapOpKind::kGet
+              : d < 60 ? MapOpKind::kPut
+              : d < 85 ? MapOpKind::kDel
+                       : MapOpKind::kRange;
+    script.push_back(op);
+  }
+  return script;
+}
+
+struct MapRunResult {
+  ThreadStats stats{};
+  std::vector<std::uint64_t> results;  ///< one encoded value per script op
+  std::vector<si::maps::RangeEntry> dump;
+  std::vector<si::check::Event> history;
+};
+
+/// Applies one op through the map_* drivers, encoding the observable result
+/// (found/value for gets, linked/found for updates, an order-sensitive fold
+/// of the hits for ranges) into a single comparable word.
+template <typename Map, typename CC>
+std::uint64_t apply_map_op(Map& map, CC& cc, const MapOp& op,
+                           typename Map::ScratchT& scratch) {
+  switch (op.kind) {
+    case MapOpKind::kGet: {
+      std::uint64_t v = 0;
+      return si::maps::map_get(map, cc, op.key, &v) ? 1 + v : 0;
+    }
+    case MapOpKind::kPut:
+      return si::maps::map_put(map, cc, op.key, op.val, scratch) ? 1 : 0;
+    case MapOpKind::kDel:
+      return si::maps::map_del(map, cc, op.key, scratch) ? 1 : 0;
+    case MapOpKind::kRange: {
+      si::maps::RangeEntry buf[kMapScanCap];
+      const std::size_t n =
+          si::maps::map_range(map, cc, op.key, op.hi, buf, kMapScanCap);
+      std::uint64_t fold = n;
+      for (std::size_t j = 0; j < n; ++j)
+        fold = fold * 1099511628211ULL ^ buf[j].key ^ (buf[j].value << 1);
+      return fold;
+    }
+  }
+  return 0;
+}
+
+template <typename Map, typename Backend, typename MakeBackend>
+MapRunResult run_map_real(const std::vector<MapOp>& script,
+                          MakeBackend&& make) {
+  MapRunResult out;
+  si::check::HistoryRecorder rec(8);
+  Map map;
+  typename Map::Pool pool;
+  typename Map::ScratchT scratch(pool);
+  // Seeded through DirectCC before the backend exists: both substrates start
+  // from the identical pre-populated tree, outside the recorded history.
+  si::maps::map_seed(map, kMapSeedElems, kMapKeySpace, 77, scratch);
+  Backend be = make(rec);
+  be.register_thread(0);
+  out.results.reserve(script.size());
+  for (const auto& op : script)
+    out.results.push_back(apply_map_op(map, be, op, scratch));
+  out.stats = be.thread_stats()[0];
+  out.dump = si::maps::map_dump(map);
+  out.history = rec.merged();
+  return out;
+}
+
+template <typename Map, typename Backend, typename MakeBackend>
+MapRunResult run_map_sim(const std::vector<MapOp>& script, MakeBackend&& make) {
+  MapRunResult out;
+  si::check::HistoryRecorder rec(8);
+  Map map;
+  typename Map::Pool pool;
+  typename Map::ScratchT scratch(pool);
+  si::maps::map_seed(map, kMapSeedElems, kMapKeySpace, 77, scratch);
+  si::sim::SimEngine eng(si::sim::SimMachineConfig{}, 1);
+  Backend be = make(eng, rec);
+  out.results.reserve(script.size());
+  eng.run(1e9, [&](int) {
+    for (const auto& op : script)
+      out.results.push_back(apply_map_op(map, be, op, scratch));
+    eng.wait(1e12);  // past the deadline: the script runs exactly once
+  });
+  out.stats = be.thread_stats()[0];
+  out.dump = si::maps::map_dump(map);
+  out.history = rec.merged();
+  return out;
+}
+
+void expect_map_equivalent(const MapRunResult& real, const MapRunResult& sim) {
+  ASSERT_EQ(real.results.size(), sim.results.size());
+  for (std::size_t i = 0; i < real.results.size(); ++i)
+    EXPECT_EQ(real.results[i], sim.results[i]) << "op " << i;
+  ASSERT_EQ(real.dump.size(), sim.dump.size());
+  for (std::size_t i = 0; i < real.dump.size(); ++i) {
+    EXPECT_EQ(real.dump[i].key, sim.dump[i].key) << "dump entry " << i;
+    EXPECT_EQ(real.dump[i].value, sim.dump[i].value) << "dump entry " << i;
+  }
+  EXPECT_EQ(real.stats.commits, sim.stats.commits);
+  EXPECT_EQ(real.stats.ro_commits, sim.stats.ro_commits);
+  EXPECT_EQ(real.stats.sgl_commits, sim.stats.sgl_commits);
+  for (int c = 0; c < static_cast<int>(AbortCause::kCauseCount_); ++c) {
+    EXPECT_EQ(real.stats.aborts_by_cause[c], sim.stats.aborts_by_cause[c])
+        << "abort cause: " << to_string(static_cast<AbortCause>(c));
+  }
+  for (const auto* h : {&real.history, &sim.history}) {
+    const auto res = si::check::verify_si(*h);
+    EXPECT_TRUE(res.ok()) << si::check::describe(res);
+    EXPECT_EQ(res.committed, real.stats.commits);
+  }
+}
+
+/// One structure, all five protocols, real vs sim. Map updates write a
+/// bounded handful of lines (worst case: a B+-tree root split), far under
+/// the 64-line TMCAM, so even raw-ROT runs the full script.
+template <typename Map>
+void map_cases(std::uint64_t seed) {
+  const auto script = make_map_script(seed);
+  {
+    SCOPED_TRACE("si-htm");
+    const auto real = run_map_real<Map, si::sihtm::SiHtm>(script, [](auto& rec) {
+      return si::sihtm::SiHtm({.max_threads = 8, .recorder = &rec});
+    });
+    const auto sim =
+        run_map_sim<Map, si::sim::SimSiHtm>(script, [](auto& eng, auto& rec) {
+          return si::sim::SimSiHtm(eng, /*retries=*/10,
+                                   /*straggler_kill_after_ns=*/0, &rec);
+        });
+    expect_map_equivalent(real, sim);
+  }
+  {
+    SCOPED_TRACE("htm-sgl");
+    const auto real =
+        run_map_real<Map, si::baselines::HtmSgl>(script, [](auto& rec) {
+          return si::baselines::HtmSgl({.max_threads = 8, .recorder = &rec});
+        });
+    const auto sim =
+        run_map_sim<Map, si::sim::SimHtmSgl>(script, [](auto& eng, auto& rec) {
+          return si::sim::SimHtmSgl(eng, /*retries=*/10, &rec);
+        });
+    expect_map_equivalent(real, sim);
+  }
+  {
+    SCOPED_TRACE("p8tm");
+    const auto real =
+        run_map_real<Map, si::baselines::P8tm>(script, [](auto& rec) {
+          return si::baselines::P8tm({.max_threads = 8, .recorder = &rec});
+        });
+    const auto sim =
+        run_map_sim<Map, si::sim::SimP8tm>(script, [](auto& eng, auto& rec) {
+          return si::sim::SimP8tm(eng, /*retries=*/10, &rec);
+        });
+    expect_map_equivalent(real, sim);
+  }
+  {
+    SCOPED_TRACE("silo");
+    const auto real =
+        run_map_real<Map, si::baselines::Silo>(script, [](auto& rec) {
+          return si::baselines::Silo({.max_threads = 8, .recorder = &rec});
+        });
+    const auto sim =
+        run_map_sim<Map, si::sim::SimSilo>(script, [](auto& eng, auto& rec) {
+          return si::sim::SimSilo(eng, &rec);
+        });
+    expect_map_equivalent(real, sim);
+  }
+  {
+    SCOPED_TRACE("raw-rot");
+    const auto real =
+        run_map_real<Map, si::baselines::RawRot>(script, [](auto& rec) {
+          return si::baselines::RawRot({.max_threads = 8, .recorder = &rec});
+        });
+    const auto sim =
+        run_map_sim<Map, si::sim::SimRawRot>(script, [](auto& eng, auto& rec) {
+          return si::sim::SimRawRot(eng, /*retries=*/10, &rec);
+        });
+    expect_map_equivalent(real, sim);
+  }
+}
+
+class MapEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapEquivalenceTest, Skiplist) {
+  map_cases<si::maps::SkipList>(GetParam());
+}
+TEST_P(MapEquivalenceTest, Bst) { map_cases<si::maps::Bst>(GetParam()); }
+TEST_P(MapEquivalenceTest, Btree) { map_cases<si::maps::Btree>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapEquivalenceTest,
                          ::testing::Values(1u, 7u, 42u, 20260807u));
 
 }  // namespace

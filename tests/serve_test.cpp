@@ -11,9 +11,14 @@
 
 #include "check/history.hpp"
 #include "check/verify.hpp"
+#include "maps/bst.hpp"
+#include "maps/btree.hpp"
+#include "maps/maps.hpp"
+#include "maps/skiplist.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/kv_app.hpp"
+#include "serve/map_app.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
@@ -298,6 +303,126 @@ TEST(ServeHistory, RecordedServeRunPassesSiChecker) {
   EXPECT_TRUE(verdict.ok()) << si::check::describe(verdict);
   EXPECT_GT(verdict.committed, 0u);
   EXPECT_GT(verdict.reads_checked, 0u);
+}
+
+// --- map-workload serving (src/serve/map_app.hpp) --------------------------
+
+// Point ops and range scans answered by a quiesced map server must agree
+// with the structure's own dump: the packed (count << 32 | checksum)
+// response is recomputed from the dump restricted to the scanned window.
+template <typename Map>
+void run_map_scan_case() {
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.runtime.backend = si::runtime::Backend::kSiHtm;
+  MapAppConfig app_cfg;
+  app_cfg.seed_elements = 300;
+  app_cfg.key_space = 600;
+  app_cfg.scan_cap = 64;
+  MapApp<Map> app(app_cfg, cfg.shards);
+  Service<MapApp<Map>> svc(app, cfg);
+
+  // Point-op sanity through the service: put / get / del round-trip.
+  Response resp;
+  ASSERT_TRUE(svc.call(make_req(1, MapOps::kPut, 1001, 4242), &resp));
+  ASSERT_TRUE(svc.call(make_req(2, MapOps::kGet, 1001), &resp));
+  EXPECT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.value, 4242u);
+  ASSERT_TRUE(svc.call(make_req(3, MapOps::kDel, 1001), &resp));
+  EXPECT_EQ(resp.value, 1u);
+  ASSERT_TRUE(svc.call(make_req(4, MapOps::kGet, 1001), &resp));
+  EXPECT_EQ(resp.value, 0u);
+
+  // No in-flight requests now, so the direct dump sees the served state.
+  const auto dump = si::maps::map_dump(app.map());
+  ASSERT_GT(dump.size(), 0u);
+
+  si::util::Xoshiro256 rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t lo = rng.below(app_cfg.key_space);
+    const std::uint64_t hi = lo + rng.below(40);
+    ASSERT_TRUE(svc.call(make_req(100 + i, MapOps::kRange, lo, hi), &resp));
+    ASSERT_EQ(resp.status, Status::kOk);
+
+    std::vector<si::maps::RangeEntry> expect;
+    for (const auto& e : dump) {
+      if (e.key >= lo && e.key <= hi && expect.size() < app_cfg.scan_cap) {
+        expect.push_back(e);
+      }
+    }
+    EXPECT_EQ(resp.value >> 32, expect.size());
+    EXPECT_EQ(resp.value & 0xFFFFFFFFULL,
+              MapApp<Map>::checksum(expect.data(), expect.size()) &
+                  0xFFFFFFFFULL);
+  }
+  svc.stop();
+  EXPECT_EQ(svc.counters().failed, 0u);
+}
+
+TEST(ServeMapScan, SkiplistScanMatchesQuiescedState) {
+  run_map_scan_case<si::maps::SkipList>();
+}
+TEST(ServeMapScan, BstScanMatchesQuiescedState) {
+  run_map_scan_case<si::maps::Bst>();
+}
+TEST(ServeMapScan, BtreeScanMatchesQuiescedState) {
+  run_map_scan_case<si::maps::Btree>();
+}
+
+// The serve acceptance case from ISSUE 6: range scans racing write traffic
+// through the service, with the backend recording every transaction; the
+// merged history must be admissible under SI. One shard keeps the recorded
+// history exact (single executing thread) while the two client threads
+// below race their submissions.
+template <typename Map>
+void run_map_history_case() {
+  si::check::HistoryRecorder rec(1);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.runtime.backend = si::runtime::Backend::kSiHtm;
+  cfg.runtime.recorder = &rec;
+  MapAppConfig app_cfg;
+  app_cfg.seed_elements = 128;
+  app_cfg.key_space = 256;
+  app_cfg.scan_cap = 48;
+  MapApp<Map> app(app_cfg, cfg.shards);
+  Service<MapApp<Map>> svc(app, cfg);
+
+  std::thread writer([&] {
+    si::util::Xoshiro256 rng(21);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      const std::uint64_t key = rng.below(app_cfg.key_space);
+      const std::uint16_t op = (i & 1) != 0 ? MapOps::kPut : MapOps::kDel;
+      Response resp;
+      ASSERT_TRUE(svc.call(make_req(i + 1, op, key, key * 7 + 1), &resp));
+      ASSERT_NE(resp.status, Status::kFailed);
+    }
+  });
+  std::thread scanner([&] {
+    si::util::Xoshiro256 rng(22);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      const std::uint64_t lo = rng.below(app_cfg.key_space);
+      Response resp;
+      ASSERT_TRUE(svc.call(
+          make_req((1ULL << 32) | i, MapOps::kRange, lo, lo + 31), &resp));
+      ASSERT_NE(resp.status, Status::kFailed);
+    }
+  });
+  writer.join();
+  scanner.join();
+  svc.stop();
+
+  const auto verdict = si::check::verify_si(rec.merged());
+  EXPECT_TRUE(verdict.ok()) << si::check::describe(verdict);
+  EXPECT_GT(verdict.committed, 0u);
+  EXPECT_GT(verdict.reads_checked, 0u);
+}
+
+TEST(ServeMapHistory, SkiplistRangeScanRunPassesSiChecker) {
+  run_map_history_case<si::maps::SkipList>();
+}
+TEST(ServeMapHistory, BtreeRangeScanRunPassesSiChecker) {
+  run_map_history_case<si::maps::Btree>();
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   si_fuzz --backend=si-htm --schedules=500 --seed=1
 //   si_fuzz --backend=raw-rot --schedules=200        # expect violations
 //   si_fuzz --backend=raw-rot --replay=5013          # full log for one seed
+//   si_fuzz --struct=skiplist --backend=si-htm       # map-structure workload
 //
 // Exits 0 when every schedule is clean, 1 otherwise.
 #include <cstdio>
@@ -23,6 +24,7 @@ namespace {
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--backend=si-htm|htm|silo|p8tm|raw-rot]\n"
+               "          [--struct=ledger|skiplist|bst|btree]\n"
                "          [--schedules=N] [--seed=BASE] [--threads=N]\n"
                "          [--jitter=NS] [--virtual-ns=NS] [--kill-ns=NS]\n"
                "          [--replay=SEED]\n",
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
   try {
     cfg.backend =
         si::check::fuzz_backend_from_string(cli.get("backend", "si-htm"));
+    cfg.structure =
+        si::check::fuzz_struct_from_string(cli.get("struct", "ledger"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     usage(argv[0]);
@@ -62,10 +66,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
     }
-    std::printf("# backend=%s seed=%llu events=%zu ledger=%s\n",
+    std::printf("# backend=%s struct=%s seed=%llu events=%zu invariants=%s\n",
                 std::string(to_string(cfg.backend)).c_str(),
+                std::string(to_string(cfg.structure)).c_str(),
                 static_cast<unsigned long long>(seed), r.history.size(),
-                r.ledger_conserved ? "conserved" : "NOT-conserved");
+                r.invariants_ok ? "ok" : "VIOLATED");
     std::fputs(si::check::dump(r.history).c_str(), stdout);
     std::fputs(describe(r.verify).c_str(), stdout);
     return r.ok() ? 0 : 1;
@@ -81,8 +86,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("backend=%s schedules=%d failures=%d\n",
-              std::string(to_string(cfg.backend)).c_str(), s.schedules,
+  std::printf("backend=%s struct=%s schedules=%d failures=%d\n",
+              std::string(to_string(cfg.backend)).c_str(),
+              std::string(to_string(cfg.structure)).c_str(), s.schedules,
               s.failures);
   if (!s.ok()) {
     std::printf("failing seeds:");
@@ -91,8 +97,9 @@ int main(int argc, char** argv) {
     std::printf("\nfirst failure (seed %llu):\n%s",
                 static_cast<unsigned long long>(s.first_failure.seed),
                 describe(s.first_failure.verify).c_str());
-    std::printf("replay with: %s --backend=%s --replay=%llu\n", argv[0],
-                std::string(to_string(cfg.backend)).c_str(),
+    std::printf("replay with: %s --backend=%s --struct=%s --replay=%llu\n",
+                argv[0], std::string(to_string(cfg.backend)).c_str(),
+                std::string(to_string(cfg.structure)).c_str(),
                 static_cast<unsigned long long>(s.first_failure.seed));
   }
   return s.ok() ? 0 : 1;

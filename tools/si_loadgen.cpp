@@ -19,8 +19,11 @@
 // request was lost (sent but never answered) and none failed.
 //
 // Request mix (hashmap workload): -ro PCT lookups, the rest alternating
-// put/del over -keys distinct keys, ids unique per connection. For a TPC-C
-// server use -tpcc: every request is op 255 (mix-sampled by the server).
+// put/del over -keys distinct keys, ids unique per connection. Against a
+// map-workload server (si_serve -workload map) add -range PCT: that share
+// of requests become range scans (op 3) over [key, key + -span], carved out
+// of the read-only fraction first. For a TPC-C server use -tpcc: every
+// request is op 255 (mix-sampled by the server).
 #include <cmath>
 #include <cstdio>
 #include <sys/socket.h>
@@ -36,6 +39,7 @@
 
 #include "obs/trace.hpp"  // wall_ns
 #include "serve/kv_app.hpp"
+#include "serve/map_app.hpp"
 #include "serve/net.hpp"
 #include "serve/request.hpp"
 #include "serve/tpcc_app.hpp"
@@ -51,6 +55,8 @@ struct Options {
   int conns = 8;
   std::uint64_t requests = 100000;  ///< total across connections (closed loop)
   unsigned ro_pct = 90;
+  unsigned range_pct = 0;   ///< share of requests that are range scans (op 3)
+  std::uint64_t span = 16;  ///< range-scan width: hi = lo + span
   std::uint64_t keys = 40000;
   std::uint64_t think_us = 0;
   bool open_loop = false;
@@ -75,6 +81,7 @@ void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [-host H] [-port P] [-conns N] [-requests TOTAL]\n"
                "          [-ro PCT] [-keys N] [-think-us US] [-seed S]\n"
+               "          [-range PCT] [-span N]\n"
                "          [-mode closed|open] [-rate REQ_S] [-duration-s S]\n"
                "          [-tpcc]\n",
                prog);
@@ -84,6 +91,8 @@ void usage(const char* prog) {
 struct MixSampler {
   si::util::Xoshiro256 rng;
   unsigned ro_pct;
+  unsigned range_pct;
+  std::uint64_t span;
   std::uint64_t keys;
   bool tpcc;
   bool put_next = true;
@@ -96,7 +105,13 @@ struct MixSampler {
       return;
     }
     *key = rng.below(keys);
-    if (rng.percent(ro_pct)) {
+    // One roll decides the op class; range scans are carved out of the
+    // read-only share (both are RO), so -ro still bounds the update rate.
+    const std::uint64_t roll = rng.below(100);
+    if (roll < range_pct) {
+      *op = si::serve::MapOps::kRange;
+      *arg = *key + span;
+    } else if (roll < ro_pct) {
       *op = si::serve::KvApp::kGet;
       *arg = 0;
     } else if (put_next) {
@@ -122,7 +137,7 @@ void closed_loop_conn(const Options& opt, int conn_idx, std::uint64_t quota,
   }
   si::serve::net::LineReader reader(fd);
   MixSampler mix{si::util::Xoshiro256(opt.seed ^ (0x9E3779B9ULL * (conn_idx + 1))),
-                 opt.ro_pct, opt.keys, opt.tpcc};
+                 opt.ro_pct, opt.range_pct, opt.span, opt.keys, opt.tpcc};
   std::string line;
   // Ids are unique per connection so cross-connection responses can never be
   // confused (each connection only ever sees its own responses anyway).
@@ -230,7 +245,7 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
   });
 
   MixSampler mix{si::util::Xoshiro256(opt.seed ^ (0x517CC1ULL * (conn_idx + 1))),
-                 opt.ro_pct, opt.keys, opt.tpcc};
+                 opt.ro_pct, opt.range_pct, opt.span, opt.keys, opt.tpcc};
   const double per_conn_rate = opt.rate / opt.conns;
   const double mean_gap_ns = 1e9 / (per_conn_rate > 1 ? per_conn_rate : 1);
   si::util::Xoshiro256 gap_rng(opt.seed ^ (0xA5A5ULL * (conn_idx + 3)));
@@ -307,6 +322,8 @@ int main(int argc, char** argv) {
   opt.requests =
       static_cast<std::uint64_t>(cli.get_int("requests", 100000));
   opt.ro_pct = static_cast<unsigned>(cli.get_int("ro", opt.ro_pct));
+  opt.range_pct = static_cast<unsigned>(cli.get_int("range", 0));
+  opt.span = static_cast<std::uint64_t>(cli.get_int("span", 16));
   opt.keys = static_cast<std::uint64_t>(cli.get_int("keys", 40000));
   opt.think_us = static_cast<std::uint64_t>(cli.get_int("think-us", 0));
   opt.open_loop = cli.get("mode", "closed") == "open";

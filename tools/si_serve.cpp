@@ -27,13 +27,18 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "maps/bst.hpp"
+#include "maps/btree.hpp"
+#include "maps/skiplist.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/kv_app.hpp"
+#include "serve/map_app.hpp"
 #include "serve/net.hpp"
 #include "serve/service.hpp"
 #include "serve/tpcc_app.hpp"
@@ -48,9 +53,10 @@ void on_signal(int) { g_stop.store(true); }
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [-backend si-htm|htm|p8tm|silo|raw-rot]\n"
-               "          [-workload hashmap|tpcc] [-shards N] [-port P]\n"
+               "          [-workload hashmap|map|tpcc] [-shards N] [-port P]\n"
                "          [-queue-cap N] [-watermark N] [-batch N]\n"
                "          [-buckets N] [-elements N] [-warehouses N]\n"
+               "          [-struct skiplist|bst|btree] [-scan-cap N]\n"
                "          [-json FILE]\n",
                prog);
 }
@@ -376,7 +382,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string workload = cli.get("workload", "hashmap");
-  if (workload != "hashmap" && workload != "tpcc") {
+  if (workload != "hashmap" && workload != "map" && workload != "tpcc") {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     usage(argv[0]);
     return 2;
@@ -405,6 +411,37 @@ int main(int argc, char** argv) {
     si::serve::KvApp app(acfg, scfg.shards);
     si::serve::Service<si::serve::KvApp> service(app, scfg);
     return run_front_end(service, cli, metrics, backend_name);
+  }
+
+  if (workload == "map") {
+    si::serve::MapAppConfig acfg;
+    acfg.seed_elements =
+        static_cast<std::uint64_t>(cli.get_int("elements", 20000));
+    acfg.key_space = acfg.seed_elements * 2;
+    acfg.scan_cap = static_cast<std::size_t>(cli.get_int("scan-cap", 128));
+    si::maps::Struct st;
+    try {
+      st = si::maps::struct_from_string(cli.get("struct", "skiplist"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      usage(argv[0]);
+      return 2;
+    }
+    auto serve_map = [&](auto map_tag) {
+      using Map = typename decltype(map_tag)::type;
+      si::serve::MapApp<Map> app(acfg, scfg.shards);
+      si::serve::Service<si::serve::MapApp<Map>> service(app, scfg);
+      return run_front_end(service, cli, metrics, backend_name);
+    };
+    switch (st) {
+      case si::maps::Struct::kSkiplist:
+        return serve_map(std::type_identity<si::maps::SkipList>{});
+      case si::maps::Struct::kBst:
+        return serve_map(std::type_identity<si::maps::Bst>{});
+      case si::maps::Struct::kBtree:
+        return serve_map(std::type_identity<si::maps::Btree>{});
+    }
+    return 2;  // unreachable
   }
 
   si::tpcc::DbConfig dcfg;
