@@ -95,6 +95,14 @@ struct BenchRecord {
   double safety_wait_p99_ns = -1.0;
   double req_latency_p50_ns = -1.0;  ///< serve layer; <0 = not a serving run
   double req_latency_p99_ns = -1.0;
+  /// Futex wake-ups taken while blocked on the SGL (slim lock only;
+  /// <0 = not measured, 0 = measured and never slept).
+  std::int64_t sgl_sleep_wakeups = -1;
+  /// Serve AIMD controller state at end of run; watermark < 0 = disabled.
+  std::int64_t aimd_watermark = -1;
+  std::int64_t aimd_raises = 0;
+  std::int64_t aimd_cuts = 0;
+  double aimd_last_p99_ns = -1.0;
 };
 
 /// Collects BenchRecords and writes them as a `si-bench-v1` JSON document.
@@ -138,6 +146,8 @@ class JsonSink {
     rec.abort_pct_capacity = rs.abort_pct(si::util::AbortClass::kCapacity);
     const auto& fp = rs.totals.fast_path;
     if (fp.hits + fp.misses > 0) rec.fast_path_hit_rate = fp.hit_rate();
+    rec.sgl_sleep_wakeups =
+        static_cast<std::int64_t>(rs.totals.sgl_sleep_wakeups);
     if (m != nullptr) {
       // 0 with metrics attached means "measured, no waits" (e.g. plain HTM);
       // -1 (metrics off) means "not measured". --compare needs the difference.
@@ -214,6 +224,20 @@ class JsonSink {
         w.value(r.req_latency_p50_ns);
         w.key("req_latency_p99_ns");
         w.value(r.req_latency_p99_ns);
+      }
+      if (r.sgl_sleep_wakeups >= 0) {
+        w.key("sgl_sleep_wakeups");
+        w.value(static_cast<std::uint64_t>(r.sgl_sleep_wakeups));
+      }
+      if (r.aimd_watermark >= 0) {
+        w.key("aimd_watermark");
+        w.value(static_cast<std::uint64_t>(r.aimd_watermark));
+        w.key("aimd_raises");
+        w.value(static_cast<std::uint64_t>(r.aimd_raises));
+        w.key("aimd_cuts");
+        w.value(static_cast<std::uint64_t>(r.aimd_cuts));
+        w.key("aimd_last_p99_ns");
+        w.value(r.aimd_last_p99_ns);
       }
       w.end_object();
     }

@@ -9,6 +9,9 @@ Usage:
     python3 scripts/bench_to_csv.py fig6.json > fig6.csv
     # compare two JSON result files point by point:
     python3 scripts/bench_to_csv.py --compare old.json new.json
+    # as a CI perf-regression gate: exit 1 if any shared point's throughput
+    # dropped more than 15% vs the committed baseline
+    python3 scripts/bench_to_csv.py --compare old.json new.json --max-regression 15
 
 CSV columns: panel, system, threads, throughput_scaled, aborts_tx_pct,
 aborts_nontx_pct, aborts_capacity_pct, aborts_total_pct
@@ -19,7 +22,9 @@ unscaled tx/s or items/s, named throughput).
 point with the throughput delta; when both files carry obs metrics
 (safety_wait_p50_ns/safety_wait_p99_ns, written by the benches when -json
 and tracing-era builds are used), it also diffs the safety-wait percentiles.
-Points present in only one file are listed separately.
+Points present in only one file are listed separately (never gated on —
+only shared keys count toward --max-regression, so adding new panels cannot
+fail the gate).
 
 The paper's plots can then be regenerated with any tool; e.g. gnuplot:
     plot "fig6.csv" using 3:4 with linespoints
@@ -95,6 +100,13 @@ def parse_json(doc):
         if "req_latency_p50_ns" in rec:
             row["req_latency_p50_ns"] = rec["req_latency_p50_ns"]
             row["req_latency_p99_ns"] = rec.get("req_latency_p99_ns", 0.0)
+        if "sgl_sleep_wakeups" in rec:
+            row["sgl_sleep_wakeups"] = rec["sgl_sleep_wakeups"]
+        if "aimd_watermark" in rec:
+            row["aimd_watermark"] = rec["aimd_watermark"]
+            row["aimd_raises"] = rec.get("aimd_raises", 0)
+            row["aimd_cuts"] = rec.get("aimd_cuts", 0)
+            row["aimd_last_p99_ns"] = rec.get("aimd_last_p99_ns", 0.0)
         yield row
 
 
@@ -123,13 +135,14 @@ def provenance_warning(old_doc, new_doc, old_path, new_path):
                   f"{new_path} is {b}", file=sys.stderr)
 
 
-def compare(old_path, new_path):
+def compare(old_path, new_path, max_regression=None):
     old_doc, new_doc = load_json(old_path), load_json(new_path)
     provenance_warning(old_doc, new_doc, old_path, new_path)
     old = {record_key(r): r for r in old_doc["records"]}
     new = {record_key(r): r for r in new_doc["records"]}
 
     shared = [k for k in old if k in new]
+    regressions = []
     wait_metrics = [
         ("safety_wait_p50_ns", "wait-p50"),
         ("safety_wait_p99_ns", "wait-p99"),
@@ -145,6 +158,9 @@ def compare(old_path, new_path):
             b = new[key].get("throughput", 0.0)
             print(f"{f'{s} {p} x{t}':<{width}}  {a:>12.4g}  {b:>12.4g}  "
                   f"{fmt_delta(a, b):>8}")
+            if (max_regression is not None and a > 0
+                    and (b - a) / a * 100 < -max_regression):
+                regressions.append((key, a, b))
             for field, label in wait_metrics:
                 if field in old[key] and field in new[key]:
                     wa, wb = old[key][field], new[key][field]
@@ -159,17 +175,37 @@ def compare(old_path, new_path):
     if not shared:
         print("no shared points between the two files", file=sys.stderr)
         return 1
+    if regressions:
+        print(f"FAIL: {len(regressions)} point(s) regressed more than "
+              f"{max_regression:g}% vs {old_path}:", file=sys.stderr)
+        for (s, p, t), a, b in regressions:
+            print(f"  {s} {p} x{t}: {a:.4g} -> {b:.4g} "
+                  f"({(b - a) / a * 100:+.1f}%)", file=sys.stderr)
+        return 1
     return 0
 
 
 def main():
     argv = sys.argv[1:]
-    if argv and argv[0] == "--compare":
-        if len(argv) != 3:
-            print("usage: bench_to_csv.py --compare old.json new.json",
+    max_regression = None
+    if "--max-regression" in argv:
+        i = argv.index("--max-regression")
+        if i + 1 >= len(argv):
+            print("--max-regression needs a percentage", file=sys.stderr)
+            return 2
+        try:
+            max_regression = float(argv[i + 1])
+        except ValueError:
+            print(f"--max-regression: not a number: {argv[i + 1]}",
                   file=sys.stderr)
             return 2
-        return compare(argv[1], argv[2])
+        del argv[i:i + 2]
+    if argv and argv[0] == "--compare":
+        if len(argv) != 3:
+            print("usage: bench_to_csv.py --compare old.json new.json "
+                  "[--max-regression PCT]", file=sys.stderr)
+            return 2
+        return compare(argv[1], argv[2], max_regression)
 
     source = open(argv[0]) if argv else sys.stdin
     head = source.read(1)

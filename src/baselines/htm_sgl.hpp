@@ -23,6 +23,11 @@ struct HtmSglConfig {
 
   /// Optional tracing/metrics sinks (obs/obs.hpp).
   si::obs::ObsConfig obs{};
+
+  /// Which lock backs the SGL (futex slim lock vs. the TTAS baseline).
+  /// Plain HTM has no read-only overlap path, so there is no shared-mode
+  /// knob here.
+  si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim;
 };
 
 /// Access handle for one attempt (hardware path or SGL path).
@@ -33,7 +38,7 @@ class HtmSgl {
   explicit HtmSgl(HtmSglConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
-              cfg.recorder, cfg.obs}),
+              cfg.recorder, cfg.obs, cfg.sgl_impl}),
         core_(sub_, {cfg.retries}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }

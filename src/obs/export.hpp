@@ -180,6 +180,12 @@ inline void write_chrome_trace(std::ostream& os, const Tracer& tracer,
         case TraceEventKind::kSglDrainDone:
           instant(w, "sgl-drain-done", tid, r.ts_ns, r.epoch, {}, 0);
           break;
+        case TraceEventKind::kSglWait:
+          instant(w, "sgl-wait", tid, r.ts_ns, r.epoch, {}, 0);
+          break;
+        case TraceEventKind::kSglWake:
+          instant(w, "sgl-wake", tid, r.ts_ns, r.epoch, "wakeups", r.arg);
+          break;
         case TraceEventKind::kHwRollback:
           instant(w, "hw-rollback", tid, r.ts_ns, r.epoch, "cause",
                   r.arg >> 16);

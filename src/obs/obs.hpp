@@ -128,6 +128,17 @@ struct ObsConfig {
     if (tracer) tracer->emit(tid, TraceEventKind::kSglDrainDone, now);
   }
 
+  /// About to block on the SGL (slim-lock park, or the sim's modelled wait).
+  void sgl_wait(int tid, double now) const noexcept {
+    if (tracer) tracer->emit(tid, TraceEventKind::kSglWait, now);
+  }
+
+  /// Woken after sleeping on the SGL; `wakeups` counts the futex wake-ups
+  /// slept through in the blocking section that just ended.
+  void sgl_wake(int tid, double now, std::uint32_t wakeups) const noexcept {
+    if (tracer) tracer->emit(tid, TraceEventKind::kSglWake, now, wakeups);
+  }
+
   /// Metrics-only (the commit event already closes the span in the trace);
   /// `acquire_ns` is the matching sgl_acquire timestamp.
   void sgl_release(int tid, double now, double acquire_ns) const noexcept {

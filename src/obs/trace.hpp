@@ -60,6 +60,8 @@ enum class TraceEventKind : std::uint8_t {
   kAbort,              ///< attempt aborted; arg: AbortCause
   kSglAcquire,         ///< single global lock acquired (fall-back path)
   kSglDrainDone,       ///< SGL holder finished draining in-flight tx
+  kSglWait,            ///< blocked on the SGL (about to park on the futex)
+  kSglWake,            ///< woken after sleeping on the SGL; arg: wake-ups
   kHwRollback,         ///< execution layer rolled a tx back; arg: cause<<16|victim
   kHwKill,             ///< kill initiated against another thread; arg: victim tid
   kReqDequeue,         ///< serve: shard worker took a batch; arg: queue depth
@@ -229,6 +231,8 @@ inline std::string_view to_string(TraceEventKind kind) noexcept {
     case TraceEventKind::kAbort: return "abort";
     case TraceEventKind::kSglAcquire: return "sgl-acquire";
     case TraceEventKind::kSglDrainDone: return "sgl-drain-done";
+    case TraceEventKind::kSglWait: return "sgl-wait";
+    case TraceEventKind::kSglWake: return "sgl-wake";
     case TraceEventKind::kHwRollback: return "hw-rollback";
     case TraceEventKind::kHwKill: return "hw-kill";
     case TraceEventKind::kReqDequeue: return "req-dequeue";

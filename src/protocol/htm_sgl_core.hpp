@@ -74,10 +74,8 @@ class HtmSglCore {
     si::util::ThreadStats& st = sub_.stats(tid);
 
     for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
-      {
-        auto p = sub_.poller();  // don't waste an attempt on a held SGL
-        while (sub_.gl_locked()) p.poll();
-      }
+      // Don't waste an attempt on a held SGL: sleep (slim lock) until free.
+      sub_.gl_wait_unlocked(st);
       sub_.pre_begin(HwMode::kHtm);
       rec_begin(tid);
       const double ot0 = obs_begin(tid, /*sgl=*/false);
@@ -117,6 +115,10 @@ class HtmSglCore {
     }
 
     sub_.gl_lock();
+    // Nothing ever joins this protocol's SGL in shared mode (there is no
+    // read-only overlap path), so the upgrade is immediate; it still runs so
+    // the body's plain writes execute in exclusive mode like every holder.
+    sub_.gl_upgrade();
     double t_acq = 0;
     if (const auto* o = sub_.obs()) {
       t_acq = sub_.obs_now();

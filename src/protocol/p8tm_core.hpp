@@ -117,7 +117,7 @@ class P8tmCore {
     si::util::ThreadStats& st = sub_.stats(tid);
 
     if (is_ro) {
-      sync_with_gl();
+      sync_with_gl(st);
       rec_begin(tid, /*ro=*/true);
       const double ot0 = obs_begin(tid, /*ro=*/true);
       Tx tx(*this, TxPath::kReadOnly);
@@ -131,7 +131,7 @@ class P8tmCore {
     }
 
     for (int attempt = 0; attempt < cfg_.retries; ++attempt) {
-      sync_with_gl();
+      sync_with_gl(st);
       Log& log = log_of(tid);
       log.reads.clear();
       log.writes.clear();
@@ -179,6 +179,10 @@ class P8tmCore {
         while (sub_.state(c) != kStateInactive) drain.poll();
       }
     }
+    // P8TM's serializable read validation has no shared-mode overlap path,
+    // so nothing is ever inside; the upgrade still moves the holder to
+    // exclusive mode before the body's plain writes.
+    sub_.gl_upgrade();
     if (const auto* o = sub_.obs()) o->sgl_drain_done(tid, sub_.obs_now());
     Log& log = log_of(tid);
     log.reads.clear();
@@ -215,13 +219,12 @@ class P8tmCore {
 
   Log& log_of(int tid) { return logs_[static_cast<std::size_t>(tid)]; }
 
-  void sync_with_gl() {
+  void sync_with_gl(si::util::ThreadStats& st) {
     for (;;) {
       sub_.announce(sub_.timestamp());
       if (!sub_.gl_locked()) return;
       sub_.set_inactive();
-      auto p = sub_.poller();
-      while (sub_.gl_locked()) p.poll();
+      sub_.gl_wait_unlocked(st);  // sleep, not spin, while the SGL is held
     }
   }
 

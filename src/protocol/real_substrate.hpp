@@ -21,8 +21,9 @@
 #include "protocol/substrate.hpp"
 #include "sihtm/state_table.hpp"
 #include "util/backoff.hpp"
+#include "util/cacheline.hpp"
 #include "util/logical_clock.hpp"
-#include "util/spinlock.hpp"
+#include "util/slim_lock.hpp"
 #include "util/stats.hpp"
 
 namespace si::protocol {
@@ -48,6 +49,15 @@ struct RealSubstrateConfig {
   /// Optional tracing/metrics sinks (obs/obs.hpp). Default-disabled; the
   /// instrumentation sites then cost one branch each.
   si::obs::ObsConfig obs{};
+
+  /// Which lock backs the SGL: the futex slim lock (default) or the seed's
+  /// TTAS spin, kept as the bench_contention / equivalence baseline.
+  si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim;
+
+  /// Admit SI-HTM's non-transactional read-only path in shared mode while
+  /// an SGL holder drains (DESIGN.md section 11). Only meaningful with the
+  /// slim lock; TTAS never grants shared mode.
+  bool sgl_shared_ro = true;
 };
 
 class RealSubstrate {
@@ -56,6 +66,8 @@ class RealSubstrate {
       : cfg_(cfg),
         rt_(cfg.htm),
         state_(cfg.max_threads),
+        gl_(cfg.sgl_impl),
+        gl_shared_by_(static_cast<std::size_t>(cfg.max_threads)),
         stats_(static_cast<std::size_t>(cfg.max_threads)) {
     assert(cfg.max_threads <= si::p8::kMaxThreads);
     // The emulation emits its own hw-rollback / hw-kill trace events at the
@@ -178,7 +190,68 @@ class RealSubstrate {
   // --- single global lock ---------------------------------------------------
 
   bool gl_locked() const { return gl_.is_locked(); }
-  void gl_lock() { gl_.lock(static_cast<std::uint32_t>(tid())); }
+
+  /// Update-mode acquire. Contended waiters spin briefly then park on the
+  /// slim lock's futex; wake-ups slept through land in sgl_sleep_wakeups
+  /// and bracket the blocking section with kSglWait/kSglWake instants.
+  void gl_lock() {
+    const int t = tid();
+    const auto* o = gl_.is_locked() ? obs() : nullptr;
+    if (o) o->sgl_wait(t, obs_now());
+    const std::uint32_t wakeups = gl_.lock(static_cast<std::uint32_t>(t));
+    if (wakeups > 0) {
+      stats(t).sgl_sleep_wakeups += wakeups;
+      if (o) o->sgl_wake(t, obs_now(), wakeups);
+    }
+  }
+
+  /// Update -> exclusive before the SGL body's plain writes: waits out
+  /// shared-mode read-only joiners (no-op under TTAS, which never grants
+  /// shared mode).
+  void gl_upgrade() {
+    stats(tid()).sgl_sleep_wakeups += gl_.upgrade();
+  }
+
+  /// Read-only overlap door (SI-HTM drain phase). Gated on the config so
+  /// the overlap can be ablated independently of the lock implementation.
+  bool gl_try_shared() {
+    if (!cfg_.sgl_shared_ro || !gl_.try_lock_shared()) return false;
+    // seq_cst handshake with the holder's drain: see gl_in_shared().
+    gl_shared_by_[static_cast<std::size_t>(tid())].v.store(1);
+    return true;
+  }
+  void gl_unlock_shared() {
+    // Clear membership before dropping the shared count: once gl_upgrade()
+    // sees count == 0 every flag is already down, and the seq_cst store
+    // orders before this thread's next announce(), so a drain that observed
+    // the new announce cannot read the stale flag.
+    gl_shared_by_[static_cast<std::size_t>(tid())].v.store(0);
+    gl_.unlock_shared();
+  }
+  /// True while thread `t` holds the SGL in shared mode. The update-mode
+  /// holder's drain loop skips such threads (their announced state slots
+  /// stay active for the whole read-only run); gl_upgrade()'s shared-count
+  /// wait — not the state array — bounds their overlap before any plain
+  /// write. Drain callers must read state(t) BEFORE this flag; both are
+  /// seq_cst, so the flag can never be stale-high for a newer announce.
+  bool gl_in_shared(int t) const {
+    return gl_shared_by_[static_cast<std::size_t>(t)].v.load() != 0;
+  }
+
+  /// Sleep (not spin) until no update/exclusive holder exists; callers
+  /// re-check their own condition afterwards.
+  void gl_wait_unlocked(si::util::ThreadStats& st) {
+    if (!gl_.is_locked()) return;
+    const int t = tid();
+    const auto* o = obs();
+    if (o) o->sgl_wait(t, obs_now());
+    const std::uint32_t wakeups = gl_.wait_unlocked();
+    if (wakeups > 0) {
+      st.sgl_sleep_wakeups += wakeups;
+      if (o) o->sgl_wake(t, obs_now(), wakeups);
+    }
+  }
+
   void gl_unlock() { gl_.unlock(); }
   void gl_subscribe() { rt_.subscribe_line(&gl_); }
   void gl_unsubscribe() {}  // tracked lines are released with the tx
@@ -207,10 +280,17 @@ class RealSubstrate {
   const RealSubstrateConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Padded per-thread shared-mode membership flag (one line each so drain
+  /// polls never contend with the joiners' own stores).
+  struct alignas(si::util::kLineSize) SharedFlag {
+    std::atomic<std::uint8_t> v{0};
+  };
+
   RealSubstrateConfig cfg_;
   si::p8::HtmRuntime rt_;
   si::sihtm::StateTable state_;
   si::util::OwnedGlobalLock gl_;
+  std::vector<SharedFlag> gl_shared_by_;
   si::util::LogicalClock clock_;
   std::vector<si::util::ThreadStats> stats_;
 };

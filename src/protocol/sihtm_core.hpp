@@ -98,7 +98,10 @@ class SiHtmCore {
     si::util::ThreadStats& st = sub_.stats(tid);
 
     if (is_ro) {
-      if constexpr (SafetyWait) sync_with_gl();  // announces an active timestamp
+      bool shared = false;  // joined the SGL in shared mode for this attempt
+      if constexpr (SafetyWait) {
+        shared = ro_sync_with_gl(st);  // announces an active timestamp
+      }
       rec_begin(tid, /*ro=*/true);
       const double ot0 = obs_begin(tid, /*ro=*/true);
       Tx tx(sub_, TxPath::kReadOnly);
@@ -108,6 +111,7 @@ class SiHtmCore {
       if constexpr (SafetyWait) {
         // TxEndExt, RO branch: all reads precede the state change (lwsync).
         sub_.release_inactive();
+        if (shared) sub_.gl_unlock_shared();
       } else {
         sub_.release_fence();  // raw-ROT: no state table to retire from
       }
@@ -117,7 +121,7 @@ class SiHtmCore {
     }
 
     for (int attempt = 0; !SafetyWait || attempt < cfg_.retries; ++attempt) {
-      if constexpr (SafetyWait) sync_with_gl();
+      if constexpr (SafetyWait) sync_with_gl(st);
       sub_.pre_begin(HwMode::kRot);
       rec_begin(tid, /*ro=*/false);
       const double ot0 = obs_begin(tid, /*ro=*/false);
@@ -170,13 +174,28 @@ class SiHtmCore {
         o->sgl_acquire(tid, t_acq);
       }
       {
+        // Threads inside a shared-mode join are skipped: new RO joiners keep
+        // arriving while we hold update mode, so waiting on their state slots
+        // chases a moving target that may never drain. gl_upgrade()'s
+        // shared-count wait bounds them before the body's plain writes.
+        // Order matters — read state(c) before gl_in_shared(c) (both seq_cst
+        // on real threads): a joiner clears its flag before its next
+        // announce, so a drain that saw the newer announce can't read the
+        // stale flag and skip an active ROT.
         auto drain = sub_.drain_scope(st);
         for (int c = 0; c < sub_.n_threads(); ++c) {
           if (c == tid) continue;
           drain.reset();
-          while (sub_.state(c) != kStateInactive) drain.poll();
+          while (sub_.state(c) != kStateInactive && !sub_.gl_in_shared(c)) {
+            drain.poll();
+          }
         }
       }
+      // Update -> exclusive: the drain above ran in update mode, which lets
+      // read-only transactions keep joining in shared mode (ro_sync_with_gl)
+      // and overlap it; the upgrade waits those joiners out and closes the
+      // door before the body's plain writes (DESIGN.md section 11).
+      sub_.gl_upgrade();
       if (const auto* o = sub_.obs()) o->sgl_drain_done(tid, sub_.obs_now());
       rec_begin(tid, /*ro=*/false);
       const double ot0 = obs_begin(tid, /*ro=*/false, /*sgl=*/true);
@@ -199,14 +218,32 @@ class SiHtmCore {
 
  private:
   /// SyncWithGL (Algorithm 2, lines 1-9): announce an active timestamp, then
-  /// back off while the SGL is held.
-  void sync_with_gl() {
+  /// sleep (slim lock) while the SGL is held.
+  void sync_with_gl(si::util::ThreadStats& st) {
     for (;;) {
       sub_.announce(sub_.timestamp());
       if (!sub_.gl_locked()) return;
       sub_.set_inactive();
-      auto p = sub_.poller();
-      while (sub_.gl_locked()) p.poll();
+      sub_.gl_wait_unlocked(st);
+    }
+  }
+
+  /// The read-only variant: where the update path must retreat and sleep,
+  /// a read-only transaction may instead join the SGL in *shared* mode and
+  /// overlap the holder's drain phase. Safe because (a) the slot announced
+  /// here keeps the transaction visible to every safety wait and to the
+  /// holder's own drain, (b) the holder upgrades to exclusive mode — waiting
+  /// shared joiners out — before its first plain write, and (c) the joiner
+  /// never blocks on the lock while holding shared mode, so no cycle exists
+  /// (DESIGN.md section 11). Returns true when shared mode is held; the
+  /// caller releases it after retiring from the state array.
+  bool ro_sync_with_gl(si::util::ThreadStats& st) {
+    for (;;) {
+      sub_.announce(sub_.timestamp());
+      if (!sub_.gl_locked()) return false;
+      if (sub_.gl_try_shared()) return true;
+      sub_.set_inactive();
+      sub_.gl_wait_unlocked(st);
     }
   }
 

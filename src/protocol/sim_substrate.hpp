@@ -18,6 +18,7 @@
 #include "protocol/substrate.hpp"
 #include "sim/engine.hpp"
 #include "util/backoff.hpp"
+#include "util/slim_lock.hpp"
 #include "util/stats.hpp"
 
 namespace si::protocol {
@@ -38,6 +39,17 @@ struct SimSubstrateConfig {
   /// pure bookkeeping (no eng_.wait), so enabling them cannot perturb the
   /// schedule.
   si::obs::ObsConfig obs{};
+
+  /// Mirror of RealSubstrateConfig: which lock the SGL models. Both modes
+  /// charge identical virtual-time waits (the schedule is part of the
+  /// observable contract); kSlim additionally models the futex wake-up
+  /// bookkeeping (sgl_sleep_wakeups, kSglWait/kSglWake) and is what enables
+  /// shared-mode read-only admission below.
+  si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim;
+
+  /// Admit SI-HTM's read-only path in shared mode during an SGL holder's
+  /// drain phase. Ignored (always off) under kTtas.
+  bool sgl_shared_ro = true;
 };
 
 class SimSubstrate {
@@ -47,6 +59,7 @@ class SimSubstrate {
         cfg_(cfg),
         states_(static_cast<std::size_t>(eng.threads()), kStateInactive),
         subscribed_(static_cast<std::size_t>(eng.threads()), 0),
+        gl_shared_by_(static_cast<std::size_t>(eng.threads()), 0),
         jitter_(eng.threads()) {
     // Mirror of RealSubstrate: the engine emits hw-rollback / hw-kill trace
     // events itself, so both substrates yield the same event taxonomy.
@@ -194,12 +207,76 @@ class SimSubstrate {
   // --- single global lock ---------------------------------------------------
 
   bool gl_locked() const { return gl_owner_ != -1; }
+
+  /// Update-mode acquire. The contended wait is identical under kSlim and
+  /// kTtas (wait placement is part of the observable schedule — see file
+  /// comment); kSlim additionally books the sleep/wake-up the futex build
+  /// would have performed, as pure bookkeeping that cannot perturb the
+  /// schedule.
   void gl_lock() {
-    eng_.wait_until([this] { return gl_owner_ == -1; }, lat().quiesce_poll);
+    if (gl_owner_ != -1 && slim()) {
+      if (const auto* o = obs()) o->sgl_wait(tid(), obs_now());
+      eng_.wait_until([this] { return gl_owner_ == -1; }, lat().quiesce_poll);
+      ++stats(tid()).sgl_sleep_wakeups;
+      if (const auto* o = obs()) o->sgl_wake(tid(), obs_now(), 1);
+    } else {
+      eng_.wait_until([this] { return gl_owner_ == -1; }, lat().quiesce_poll);
+    }
     gl_owner_ = tid();
     eng_.wait(lat().sgl_acquire);
   }
-  void gl_unlock() { gl_owner_ = -1; }
+
+  /// Update -> exclusive: drains shared read-only joiners. Charges no
+  /// virtual time of its own when nobody is inside (the common case), so
+  /// schedules without shared admission are unchanged.
+  void gl_upgrade() {
+    gl_upgraded_ = true;
+    if (gl_shared_ == 0) return;
+    if (slim()) {
+      if (const auto* o = obs()) o->sgl_wait(tid(), obs_now());
+      eng_.wait_until([this] { return gl_shared_ == 0; }, lat().quiesce_poll);
+      ++stats(tid()).sgl_sleep_wakeups;
+      if (const auto* o = obs()) o->sgl_wake(tid(), obs_now(), 1);
+    } else {
+      eng_.wait_until([this] { return gl_shared_ == 0; }, lat().quiesce_poll);
+    }
+  }
+
+  bool gl_try_shared() {
+    if (!slim() || !cfg_.sgl_shared_ro || gl_upgraded_) return false;
+    ++gl_shared_;
+    gl_shared_by_[static_cast<std::size_t>(tid())] = 1;
+    return true;
+  }
+  void gl_unlock_shared() {
+    gl_shared_by_[static_cast<std::size_t>(tid())] = 0;
+    --gl_shared_;
+  }
+  /// True while thread `t` holds the SGL in shared mode. The holder's drain
+  /// loop skips such threads — their overlap is bounded by gl_upgrade()'s
+  /// shared-count wait instead of the state array (DESIGN.md section 11).
+  /// Always false when shared admission is off, so seed schedules are
+  /// byte-identical.
+  bool gl_in_shared(int t) const {
+    return gl_shared_by_[static_cast<std::size_t>(t)] != 0;
+  }
+
+  void gl_wait_unlocked(si::util::ThreadStats& st) {
+    if (gl_owner_ == -1) return;
+    if (slim()) {
+      if (const auto* o = obs()) o->sgl_wait(tid(), obs_now());
+      eng_.wait_until([this] { return gl_owner_ == -1; }, lat().quiesce_poll);
+      ++st.sgl_sleep_wakeups;
+      if (const auto* o = obs()) o->sgl_wake(tid(), obs_now(), 1);
+    } else {
+      eng_.wait_until([this] { return gl_owner_ == -1; }, lat().quiesce_poll);
+    }
+  }
+
+  void gl_unlock() {
+    gl_owner_ = -1;
+    gl_upgraded_ = false;
+  }
   void gl_subscribe() { subscribed_[static_cast<std::size_t>(tid())] = 1; }
   void gl_unsubscribe() { subscribed_[static_cast<std::size_t>(tid())] = 0; }
   void gl_kill_subscribers(si::util::AbortCause cause) {
@@ -229,14 +306,18 @@ class SimSubstrate {
 
  private:
   const si::sim::SimLatencies& lat() const { return eng_.config().lat; }
+  bool slim() const { return cfg_.sgl_impl == si::util::SglImpl::kSlim; }
 
   si::sim::SimEngine& eng_;
   SimSubstrateConfig cfg_;
   std::vector<std::uint64_t> states_;
   std::vector<unsigned char> subscribed_;
+  std::vector<unsigned char> gl_shared_by_;
   si::util::JitterBackoff jitter_;
   std::uint64_t clock_ = 1;
   int gl_owner_ = -1;
+  int gl_shared_ = 0;        ///< shared-mode (read-only overlap) joiners
+  bool gl_upgraded_ = false; ///< holder moved update -> exclusive
   HwMode cur_mode_ = HwMode::kRot;
 };
 

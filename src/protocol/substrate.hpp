@@ -77,8 +77,31 @@
 //    s.abort_backoff(attempt)     inter-retry backoff (no-op real; seeded
 //                                 virtual-time jitter sim)
 //
-//  single global lock (Algorithm 2's fall-back)
+//  single global lock (Algorithm 2's fall-back; slim-lock modes in
+//  util/slim_lock.hpp and DESIGN.md section 11)
 //    s.gl_locked() / s.gl_lock() / s.gl_unlock()
+//                                 gl_lock acquires UPDATE mode: other
+//                                 update/exclusive acquirers are excluded,
+//                                 shared holders may still join. Contended
+//                                 acquisition sleeps (futex real, modelled
+//                                 wait sim), counting st.sgl_sleep_wakeups
+//    s.gl_upgrade()               update -> exclusive before the SGL body's
+//                                 plain writes: drains shared holders and
+//                                 closes the door to new ones
+//    s.gl_try_shared()            read-only overlap door: join in shared
+//                                 mode during a holder's drain phase; fails
+//                                 under an exclusive holder, when shared
+//                                 admission is disabled, or in TTAS mode
+//    s.gl_unlock_shared()         drop a shared join
+//    s.gl_in_shared(t)            is thread t inside a shared join? The
+//                                 holder's drain skips such threads: their
+//                                 state slots stay active for the whole RO
+//                                 run, and gl_upgrade()'s shared-count wait
+//                                 is what bounds them. Read state(t) first,
+//                                 then this (both seq_cst on real threads)
+//    s.gl_wait_unlocked(st)       sleep until no update/exclusive holder
+//                                 (the slim replacement for "spin while
+//                                 gl_locked()"); counts st.sgl_sleep_wakeups
 //    s.gl_subscribe()             put the lock word in the read set (HTM+SGL
 //                                 early subscription)
 //    s.gl_unsubscribe()           drop the subscription bookkeeping
@@ -160,6 +183,11 @@ concept Substrate = requires(S s, int t, std::uint64_t ts, void* dst,
   { s.gl_locked() } -> std::convertible_to<bool>;
   s.gl_lock();
   s.gl_unlock();
+  s.gl_upgrade();
+  { s.gl_try_shared() } -> std::convertible_to<bool>;
+  s.gl_unlock_shared();
+  { s.gl_in_shared(0) } -> std::convertible_to<bool>;
+  s.gl_wait_unlocked(st);
   s.gl_subscribe();
   s.gl_unsubscribe();
   s.gl_kill_subscribers(cause);

@@ -56,14 +56,26 @@ class RequestQueue {
   RequestQueue& operator=(const RequestQueue&) = delete;
 
   std::size_t capacity() const noexcept { return cap_; }
-  std::size_t watermark() const noexcept { return watermark_; }
+  std::size_t watermark() const noexcept {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+
+  /// Retunes admission at runtime (the AIMD controller thread calls this
+  /// each epoch). Clamped to [1, capacity]; relaxed ordering is enough — the
+  /// watermark is advisory and try_push already reads it racily.
+  void set_watermark(std::size_t wm) noexcept {
+    if (wm == 0) wm = 1;
+    if (wm > cap_) wm = cap_;
+    watermark_.store(wm, std::memory_order_relaxed);
+  }
 
   /// Producer side; safe from any number of threads concurrently.
   Admit try_push(const Request& req) noexcept {
     // Admission pre-check only when a real watermark is configured; with the
     // watermark disabled (== capacity) the cell protocol below reports the
     // hard bound as kFull instead of mislabeling a full ring as kBusy.
-    if (watermark_ < cap_ && approx_depth() >= watermark_) return Admit::kBusy;
+    const std::size_t wm = watermark_.load(std::memory_order_relaxed);
+    if (wm < cap_ && approx_depth() >= wm) return Admit::kBusy;
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[static_cast<std::size_t>(pos) & mask_];
@@ -134,7 +146,7 @@ class RequestQueue {
 
   std::size_t cap_;
   std::size_t mask_;
-  std::size_t watermark_;
+  std::atomic<std::size_t> watermark_;
   alignas(128) std::atomic<std::uint64_t> tail_{0};  ///< producers
   alignas(128) std::atomic<std::uint64_t> head_{0};  ///< the consumer
   std::vector<Cell> cells_;

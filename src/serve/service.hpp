@@ -28,14 +28,18 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/aimd.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "util/backoff.hpp"
+#include "util/histogram.hpp"
 
 namespace si::serve {
 
@@ -43,8 +47,16 @@ struct ServiceConfig {
   int shards = 2;                   ///< worker threads = backend tids 0..shards-1
   std::size_t queue_capacity = 1024;  ///< per-shard ring size (rounded to pow2)
   /// Admission-control watermark per shard; 0 = capacity (hard bound only).
+  /// With `aimd.enabled` this is only the starting point — the controller
+  /// retunes every shard's watermark each epoch (serve/aimd.hpp).
   std::size_t admit_watermark = 0;
   std::size_t batch_max = 32;       ///< max requests drained per worker pass
+
+  /// Adaptive admission control. When enabled the service runs one epoch
+  /// thread that diffs the obs::Metrics request-latency / retries histograms
+  /// and moves the watermark AIMD-style; if no Metrics sink was supplied the
+  /// service instantiates a private one so the loop always has telemetry.
+  AimdConfig aimd{};
 
   /// Backend selection, history recording and obs sinks, forwarded verbatim.
   /// `runtime.max_threads` must be >= shards (it is raised if not).
@@ -74,7 +86,10 @@ template <typename App>
 class Service {
  public:
   Service(App& app, ServiceConfig cfg)
-      : cfg_(fixup(std::move(cfg))), app_(app), rt_(cfg_.runtime) {
+      : cfg_(fixup(std::move(cfg))),
+        app_(app),
+        own_metrics_(make_own_metrics()),
+        rt_(cfg_.runtime) {
     queues_.reserve(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       queues_.push_back(std::make_unique<RequestQueue>(cfg_.queue_capacity,
@@ -83,6 +98,9 @@ class Service {
     workers_.reserve(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       workers_.emplace_back([this, s] { worker_loop(s); });
+    }
+    if (cfg_.aimd.enabled) {
+      aimd_thread_ = std::thread([this] { aimd_loop(); });
     }
   }
 
@@ -162,9 +180,17 @@ class Service {
   void stop() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
+    if (aimd_thread_.joinable()) aimd_thread_.join();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
+  }
+
+  /// Last published controller state (zeros when AIMD is disabled). Exact
+  /// once stop() returned; a copy of the latest completed epoch mid-run.
+  AimdState aimd_state() const {
+    std::lock_guard<std::mutex> g(aimd_mu_);
+    return aimd_state_;
   }
 
   ServiceCounters counters() const noexcept {
@@ -198,15 +224,77 @@ class Service {
     if (cfg.runtime.max_threads < cfg.shards) {
       cfg.runtime.max_threads = cfg.shards;
     }
+    if (cfg.aimd.epoch_us < 100) cfg.aimd.epoch_us = 100;
+    if (cfg.aimd.min_watermark < 1) cfg.aimd.min_watermark = 1;
     return cfg;
   }
 
-  /// Rough queueing-delay estimate for the client's retry backoff: assume
-  /// ~1 us per queued request (conservative for the emulated backends) with
-  /// a floor of 50 us so rejected clients don't hammer the admission gate.
-  static std::uint64_t retry_hint_us(std::size_t depth) noexcept {
+  /// Creates a private Metrics sink when AIMD needs telemetry and the caller
+  /// supplied none. Runs in the ctor initializer list *before* rt_ so the
+  /// patched cfg_.runtime.obs reaches the backend.
+  std::unique_ptr<si::obs::Metrics> make_own_metrics() {
+    if (!cfg_.aimd.enabled || cfg_.runtime.obs.metrics != nullptr) {
+      return nullptr;
+    }
+    auto m = std::make_unique<si::obs::Metrics>(cfg_.runtime.max_threads);
+    cfg_.runtime.obs.metrics = m.get();
+    return m;
+  }
+
+  /// Queueing-delay estimate for the client's retry backoff: ~1 us per
+  /// queued request (conservative for the emulated backends), floored at the
+  /// service-time p50 the AIMD epoch loop last observed — retrying sooner
+  /// than one median request time cannot succeed. Before any telemetry
+  /// lands (or with AIMD off) the floor falls back to 50 us.
+  std::uint64_t retry_hint_us(std::size_t depth) const noexcept {
+    const std::uint64_t p50_us =
+        observed_p50_us_.load(std::memory_order_relaxed);
+    const std::uint64_t floor_us = p50_us > 0 ? p50_us : 50;
     const std::uint64_t hint = static_cast<std::uint64_t>(depth);
-    return hint < 50 ? 50 : hint;
+    return hint < floor_us ? floor_us : hint;
+  }
+
+  /// AIMD epoch thread: diff the metrics histograms, let the controller
+  /// judge the epoch, fan the watermark out to every shard queue. Snapshot
+  /// reads race the recording workers by design (obs/metrics.hpp); the
+  /// saturating Histogram::subtract keeps a torn window non-negative.
+  void aimd_loop() {
+    si::obs::Metrics* metrics = cfg_.runtime.obs.metrics;
+    AimdController ctl(cfg_.aimd, queues_[0]->capacity(),
+                       queues_[0]->watermark());
+    si::obs::MetricsSnapshot prev = metrics->snapshot();
+    const auto epoch = std::chrono::microseconds(cfg_.aimd.epoch_us);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      // Sleep in slices so stop() never waits a full epoch on the join.
+      auto left = epoch;
+      while (left.count() > 0 && !stopping_.load(std::memory_order_acquire)) {
+        const auto slice = left < std::chrono::microseconds(500)
+                               ? left
+                               : std::chrono::microseconds(500);
+        std::this_thread::sleep_for(slice);
+        left -= slice;
+      }
+      if (stopping_.load(std::memory_order_acquire)) break;
+      si::obs::MetricsSnapshot cur = metrics->snapshot();
+      si::util::Histogram lat = cur.request_latency;
+      lat.subtract(prev.request_latency);
+      si::util::Histogram ret = cur.retries;
+      ret.subtract(prev.retries);
+      const std::size_t wm = ctl.on_epoch(lat, ret);
+      for (auto& q : queues_) q->set_watermark(wm);
+      if (lat.count() > 0) {
+        std::uint64_t p50_us = ctl.state().last_p50_ns / 1000;
+        if (p50_us == 0) p50_us = 1;
+        observed_p50_us_.store(p50_us, std::memory_order_relaxed);
+      }
+      {
+        std::lock_guard<std::mutex> g(aimd_mu_);
+        aimd_state_ = ctl.state();
+      }
+      prev = cur;
+    }
+    std::lock_guard<std::mutex> g(aimd_mu_);
+    aimd_state_ = ctl.state();
   }
 
   void worker_loop(int tid) {
@@ -256,15 +344,21 @@ class Service {
 
   ServiceConfig cfg_;
   App& app_;
+  /// Declared before rt_: make_own_metrics() patches cfg_.runtime.obs.
+  std::unique_ptr<si::obs::Metrics> own_metrics_;
   si::runtime::Runtime rt_;
   std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::atomic<bool> stopping_{false};
+  mutable std::mutex aimd_mu_;
+  AimdState aimd_state_;  ///< guarded by aimd_mu_
+  std::atomic<std::uint64_t> observed_p50_us_{0};
   alignas(128) std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_stopped_{0};
   alignas(128) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::thread aimd_thread_;           ///< running only when cfg_.aimd.enabled
   std::vector<std::thread> workers_;  ///< last member: joins before teardown
 };
 

@@ -36,6 +36,12 @@ struct SiHtmConfig {
 
   /// Optional tracing/metrics sinks (obs/obs.hpp); see DESIGN.md section 8.
   si::obs::ObsConfig obs{};
+
+  /// Which lock backs the SGL (futex slim lock vs. the TTAS baseline) and
+  /// whether the read-only path may overlap SGL drains in shared mode
+  /// (DESIGN.md section 11).
+  si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim;
+  bool sgl_shared_ro = true;
 };
 
 /// Per-attempt handle passed to transaction bodies (`path()` reports
@@ -47,7 +53,7 @@ class SiHtm {
   explicit SiHtm(SiHtmConfig cfg = {})
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, cfg.straggler_kill_spins, cfg.recorder,
-              cfg.obs}),
+              cfg.obs, cfg.sgl_impl, cfg.sgl_shared_ro}),
         core_(sub_, {cfg.retries}) {}
 
   /// Binds the calling thread to slot `tid` of the state array.

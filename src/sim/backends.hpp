@@ -33,11 +33,16 @@ class SimSiHtm {
   /// `straggler_kill_after_ns` > 0 enables the paper's future-work "killing
   /// alternative": a completed transaction that has safety-waited longer
   /// than the threshold on one straggler kills its hardware transaction.
+  /// `sgl_impl`/`sgl_shared_ro` mirror SiHtmConfig: the slim-lock vs. TTAS
+  /// SGL model and the read-only shared-mode overlap door (bench_contention
+  /// compares the two legs; DESIGN.md section 11).
   explicit SimSiHtm(SimEngine& eng, int retries = 10,
                     double straggler_kill_after_ns = 0,
                     si::check::HistoryRecorder* rec = nullptr,
-                    si::obs::ObsConfig obs = {})
-      : sub_(eng, {straggler_kill_after_ns, rec, obs}),
+                    si::obs::ObsConfig obs = {},
+                    si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim,
+                    bool sgl_shared_ro = true)
+      : sub_(eng, {straggler_kill_after_ns, rec, obs, sgl_impl, sgl_shared_ro}),
         core_(sub_, {retries}) {}
 
   template <typename Body>
@@ -64,8 +69,9 @@ class SimHtmSgl {
  public:
   explicit SimHtmSgl(SimEngine& eng, int retries = 10,
                      si::check::HistoryRecorder* rec = nullptr,
-                     si::obs::ObsConfig obs = {})
-      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs}),
+                     si::obs::ObsConfig obs = {},
+                     si::util::SglImpl sgl_impl = si::util::SglImpl::kSlim)
+      : sub_(eng, {/*straggler_kill_after_ns=*/0, rec, obs, sgl_impl}),
         core_(sub_, {retries}) {}
 
   template <typename Body>

@@ -1,8 +1,19 @@
 // Log2-bucketed histogram for latency-style measurements (commit latency,
 // safety-wait duration). Constant-size, mergeable across threads, percentile
 // queries without storing samples.
+//
+// Concurrency contract: each instance has at most ONE writer (the owning
+// thread calling record()), but any thread may read or copy it while the
+// writer is live — that is how obs/metrics.hpp snapshots mid-run and how the
+// AIMD epoch thread (serve/aimd.hpp) diffs live telemetry. The fields are
+// therefore relaxed atomics: on the single-writer side the load+add+store
+// compiles to the same plain increment as before, and concurrent readers get
+// well-defined (if slightly stale, per-field inconsistent) values instead of
+// a data race. Cross-field skew is handled by the consumers — subtract()
+// saturates, quantile() tolerates total_/counts_ drift.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace si::util {
@@ -11,42 +22,72 @@ class Histogram {
  public:
   static constexpr int kBuckets = 64;
 
+  Histogram() = default;
+  Histogram(const Histogram& other) noexcept { assign(other); }
+  Histogram& operator=(const Histogram& other) noexcept {
+    if (this != &other) assign(other);
+    return *this;
+  }
+
   void record(std::uint64_t value) noexcept {
-    ++counts_[bucket_of(value)];
-    ++total_;
-    sum_ += value;
-    if (value > max_) max_ = value;
+    bump(counts_[bucket_of(value)], 1);
+    bump(total_, 1);
+    bump(sum_, value);
+    if (value > ld(max_)) st(max_, value);
   }
 
   void merge(const Histogram& other) noexcept {
-    for (int i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
-    total_ += other.total_;
-    sum_ += other.sum_;
-    if (other.max_ > max_) max_ = other.max_;
+    for (int i = 0; i < kBuckets; ++i) bump(counts_[i], ld(other.counts_[i]));
+    bump(total_, ld(other.total_));
+    bump(sum_, ld(other.sum_));
+    const std::uint64_t om = ld(other.max_);
+    if (om > ld(max_)) st(max_, om);
   }
 
-  std::uint64_t count() const noexcept { return total_; }
-  std::uint64_t max() const noexcept { return max_; }
+  /// Removes an `earlier` cumulative snapshot of this same histogram,
+  /// leaving the window recorded since it (epoch deltas for the AIMD
+  /// admission controller). Saturating per field: mid-run snapshots read
+  /// each field atomically but not the set of fields consistently, so a
+  /// skewed pair must clamp to zero rather than wrap. max_ stays
+  /// cumulative — it is an upper bound, not a window statistic.
+  void subtract(const Histogram& earlier) noexcept {
+    for (int i = 0; i < kBuckets; ++i) {
+      const std::uint64_t mine = ld(counts_[i]);
+      const std::uint64_t theirs = ld(earlier.counts_[i]);
+      st(counts_[i], mine - (mine > theirs ? theirs : mine));
+    }
+    const std::uint64_t t = ld(total_), et = ld(earlier.total_);
+    st(total_, t - (t > et ? et : t));
+    const std::uint64_t s = ld(sum_), es = ld(earlier.sum_);
+    st(sum_, s - (s > es ? es : s));
+  }
+
+  std::uint64_t count() const noexcept { return ld(total_); }
+  std::uint64_t max() const noexcept { return ld(max_); }
   double mean() const noexcept {
-    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+    const std::uint64_t t = ld(total_);
+    return t == 0 ? 0.0 : static_cast<double>(ld(sum_)) / static_cast<double>(t);
   }
 
   /// Upper bound of the bucket containing the q-quantile (q in [0, 1]).
   /// Resolution is a factor of 2 — adequate for latency tails.
   std::uint64_t quantile(double q) const noexcept {
-    if (total_ == 0) return 0;
+    const std::uint64_t total = ld(total_);
+    if (total == 0) return 0;
     if (q < 0) q = 0;
     if (q > 1) q = 1;
-    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
-      seen += counts_[i];
+      seen += ld(counts_[i]);
       if (seen > target) return upper_bound(i);
     }
     return upper_bound(kBuckets - 1);
   }
 
-  std::uint64_t bucket_count(int bucket) const noexcept { return counts_[bucket]; }
+  std::uint64_t bucket_count(int bucket) const noexcept {
+    return ld(counts_[bucket]);
+  }
 
   /// Bucket k (k >= 1) holds values in [2^(k-1), 2^k - 1]; bucket 0 holds 0.
   /// The top bucket (63) absorbs everything with bit 63 set.
@@ -63,10 +104,28 @@ class Histogram {
   }
 
  private:
-  std::uint64_t counts_[kBuckets] = {};
-  std::uint64_t total_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t max_ = 0;
+  using Word = std::atomic<std::uint64_t>;
+
+  static std::uint64_t ld(const Word& w) noexcept {
+    return w.load(std::memory_order_relaxed);
+  }
+  static void st(Word& w, std::uint64_t v) noexcept {
+    w.store(v, std::memory_order_relaxed);
+  }
+  /// Single-writer increment: plain add, never an RMW bus lock.
+  static void bump(Word& w, std::uint64_t by) noexcept { st(w, ld(w) + by); }
+
+  void assign(const Histogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) st(counts_[i], ld(other.counts_[i]));
+    st(total_, ld(other.total_));
+    st(sum_, ld(other.sum_));
+    st(max_, ld(other.max_));
+  }
+
+  Word counts_[kBuckets] = {};
+  Word total_{0};
+  Word sum_{0};
+  Word max_{0};
 };
 
 }  // namespace si::util

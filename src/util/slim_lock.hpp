@@ -1,0 +1,286 @@
+// Futex-backed slim lock and the OwnedGlobalLock built on it (ROADMAP
+// item 5; DESIGN.md section 11).
+//
+// SlimLock is a 32-bit-word reader/writer lock in the atomic_sync /
+// sux_lock mould, with the three modes the SGL fall-back paths need:
+//
+//  * update (U)    — one holder; excludes other U/X holders but admits
+//                    shared holders. The SGL drain phase runs in U mode.
+//  * exclusive (X) — upgraded from U; additionally drains and excludes
+//                    shared holders. The SGL body (plain writes) runs here.
+//  * shared (S)    — counted; coexists with U but not with X. SI-HTM's
+//                    non-transactional read-only path rides this to overlap
+//                    an SGL holder's drain phase (DESIGN.md sections 5.1, 11).
+//
+// Contended acquisition spins through util::SpinWait's relax-burst budget
+// first, then parks on a futex(2) wait until the releasing thread wakes it —
+// long drains put waiters to sleep instead of burning their cores. The word
+// layout keeps everything one futex can watch:
+//
+//   bit 31  kWriter   a U or X holder exists
+//   bit 30  kXcl      the holder upgraded to exclusive (blocks new shared)
+//   bit 29  kWaiters  at least one thread may be parked on the word
+//   bits 0..28        shared-holder count
+//
+// Wake-ups are deliberately broadcast (FUTEX_WAKE all): the SGL has at most
+// one releasing holder and wake storms are cheaper than lost wake-ups; the
+// slim-lock stress test exercises exactly this. Platforms without futex
+// (non-Linux) degrade to yield-loop parking with identical semantics.
+//
+// A runtime mode (SglImpl::kTtas) turns the lock back into the seed's bare
+// TTAS spin — no parking, no shared admission — kept as the baseline leg of
+// bench_contention and the equivalence suite's slim-vs-TTAS case.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/spinlock.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace si::util {
+
+/// Which lock algorithm backs the SGL: the futex slim lock (default) or the
+/// seed's TTAS spin (baseline; also disables shared-mode RO admission).
+enum class SglImpl : std::uint8_t { kSlim, kTtas };
+
+namespace detail {
+
+#if defined(__linux__)
+inline void futex_wait(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t expected) noexcept {
+  ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+            FUTEX_WAIT_PRIVATE, expected, nullptr, nullptr, 0);
+}
+
+inline void futex_wake_all(const std::atomic<std::uint32_t>* word) noexcept {
+  ::syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(word),
+            FUTEX_WAKE_PRIVATE, INT32_MAX, nullptr, nullptr, 0);
+}
+#else
+// Portable degradation: "parking" is a yield, wake-up is free. Semantics
+// (and the wake-up accounting the stats layer reports) stay identical.
+inline void futex_wait(const std::atomic<std::uint32_t>* word,
+                       std::uint32_t expected) noexcept {
+  if (word->load(std::memory_order_relaxed) == expected)
+    std::this_thread::yield();
+}
+
+inline void futex_wake_all(const std::atomic<std::uint32_t>*) noexcept {}
+#endif
+
+}  // namespace detail
+
+/// Three-mode (shared / update / exclusive) futex lock. Blocking entry
+/// points return the number of futex wake-ups the caller slept through, so
+/// the substrate can account sgl_sleep_wakeups next to sgl_wait_cycles.
+class SlimLock {
+ public:
+  SlimLock() = default;
+  explicit SlimLock(SglImpl impl) : impl_(impl) {}
+  SlimLock(const SlimLock&) = delete;
+  SlimLock& operator=(const SlimLock&) = delete;
+
+  SglImpl impl() const noexcept { return impl_; }
+
+  /// True iff a U or X holder exists (shared holders don't count: the SGL's
+  /// "locked" question is "is a fall-back writer in flight").
+  bool is_update_locked() const noexcept {
+    return (word_.load(std::memory_order_acquire) & kWriter) != 0;
+  }
+
+  /// Blocking update acquire: spin, then park. Returns wake-ups slept
+  /// through. Shared holders may still be inside; upgrade() drains them.
+  std::uint32_t lock_update() noexcept {
+    std::uint32_t wakeups = 0;
+    SpinWait sw;
+    for (;;) {
+      std::uint32_t w = word_.load(std::memory_order_relaxed);
+      if (!(w & kWriter)) {
+        if (word_.compare_exchange_weak(w, w | kWriter,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+          return wakeups;
+        }
+        continue;
+      }
+      if (impl_ == SglImpl::kTtas || sw.step()) continue;
+      wakeups += park(w);
+      sw.reset();
+    }
+  }
+
+  bool try_lock_update() noexcept {
+    std::uint32_t w = word_.load(std::memory_order_relaxed);
+    while (!(w & kWriter)) {
+      if (word_.compare_exchange_weak(w, w | kWriter,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// U -> X: close the door to new shared holders, then wait the current
+  /// ones out. Caller must hold update mode. Returns wake-ups.
+  std::uint32_t upgrade() noexcept {
+    word_.fetch_or(kXcl, std::memory_order_acquire);
+    std::uint32_t wakeups = 0;
+    SpinWait sw;
+    for (;;) {
+      std::uint32_t w = word_.load(std::memory_order_acquire);
+      if ((w & kCountMask) == 0) return wakeups;
+      if (impl_ == SglImpl::kTtas || sw.step()) continue;
+      wakeups += park(w);
+      sw.reset();
+    }
+  }
+
+  /// Releases U or X. One release for the whole U -> X span: upgrade state
+  /// is cleared along with the writer bit, and any parked thread (update
+  /// waiters, wait_not_locked sleepers) is woken.
+  void unlock() noexcept {
+    const std::uint32_t w =
+        word_.fetch_and(kCountMask, std::memory_order_release);
+    if (w & kWaiters) detail::futex_wake_all(&word_);
+  }
+
+  /// Try to join in shared mode. Succeeds while no X holder exists (i.e.
+  /// free, or a U holder mid-drain); fails once the holder upgraded. Always
+  /// fails in TTAS mode — that is what makes TTAS the no-overlap baseline.
+  bool try_lock_shared() noexcept {
+    if (impl_ == SglImpl::kTtas) return false;
+    std::uint32_t w = word_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (w & kXcl) return false;
+      if (word_.compare_exchange_weak(w, w + 1, std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void unlock_shared() noexcept {
+    const std::uint32_t w = word_.fetch_sub(1, std::memory_order_release);
+    // Last shared holder out while an upgrader waits: wake it.
+    if ((w & kCountMask) == 1 && (w & kXcl) && (w & kWaiters)) {
+      detail::futex_wake_all(&word_);
+    }
+  }
+
+  /// Block until no U/X holder exists (the slim replacement for "spin while
+  /// gl_locked()"). Returns wake-ups slept through. The caller re-checks
+  /// whatever condition it actually cares about — this is a wait hint, not
+  /// an acquisition.
+  std::uint32_t wait_not_locked() noexcept {
+    std::uint32_t wakeups = 0;
+    SpinWait sw;
+    for (;;) {
+      const std::uint32_t w = word_.load(std::memory_order_acquire);
+      if (!(w & kWriter)) return wakeups;
+      if (impl_ == SglImpl::kTtas || sw.step()) continue;
+      wakeups += park(w);
+      sw.reset();
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kWriter = 1u << 31;
+  static constexpr std::uint32_t kXcl = 1u << 30;
+  static constexpr std::uint32_t kWaiters = 1u << 29;
+  static constexpr std::uint32_t kCountMask = kWaiters - 1;
+
+  /// Park on the word as last observed (`w`). Publishes the waiter bit
+  /// first; futex_wait itself revalidates, so a concurrent release is never
+  /// missed. Returns 1 if a wait was actually issued.
+  std::uint32_t park(std::uint32_t w) noexcept {
+    if (!(w & kWaiters)) {
+      if (!word_.compare_exchange_weak(w, w | kWaiters,
+                                       std::memory_order_relaxed)) {
+        return 0;  // word moved under us; re-examine before sleeping
+      }
+      w |= kWaiters;
+    }
+    detail::futex_wait(&word_, w);
+    return 1;
+  }
+
+  std::atomic<std::uint32_t> word_{0};
+  SglImpl impl_ = SglImpl::kSlim;
+};
+
+/// Single global lock with owner identity, as required by the SGL fall-back
+/// paths of HTM and SI-HTM. `kNoOwner` means unlocked. The owner id lets
+/// TxEndExt distinguish "I hold the SGL" from "somebody else does"
+/// (Algorithm 2, line 31 of the paper). Built on SlimLock: lock() takes
+/// update mode (drain phase), upgrade() moves to exclusive before the SGL
+/// body writes, and try_lock_shared() is the RO-overlap door. Owner
+/// identity is carried in a separate word so shared-mode traffic never
+/// disturbs the line HTM transactions subscribe to via owner_word().
+class OwnedGlobalLock {
+ public:
+  static constexpr std::uint32_t kNoOwner = ~std::uint32_t{0};
+
+  OwnedGlobalLock() = default;
+  explicit OwnedGlobalLock(SglImpl impl) : lk_(impl) {}
+
+  SglImpl impl() const noexcept { return lk_.impl(); }
+
+  /// True iff any thread currently holds the lock in update/exclusive mode.
+  bool is_locked() const noexcept { return lk_.is_update_locked(); }
+
+  /// True iff thread `tid` currently holds the lock.
+  bool is_locked_by(std::uint32_t tid) const noexcept {
+    return owner_.load(std::memory_order_acquire) == tid;
+  }
+
+  /// Blocking acquire of update mode; returns futex wake-ups slept through.
+  std::uint32_t lock(std::uint32_t tid) noexcept {
+    const std::uint32_t wakeups = lk_.lock_update();
+    owner_.store(tid, std::memory_order_release);
+    return wakeups;
+  }
+
+  bool try_lock(std::uint32_t tid) noexcept {
+    if (!lk_.try_lock_update()) return false;
+    owner_.store(tid, std::memory_order_release);
+    return true;
+  }
+
+  /// Update -> exclusive: waits out shared holders; returns wake-ups.
+  std::uint32_t upgrade() noexcept { return lk_.upgrade(); }
+
+  void unlock() noexcept {
+    owner_.store(kNoOwner, std::memory_order_release);
+    lk_.unlock();
+  }
+
+  /// Shared-mode join (SI-HTM RO overlap during a drain). Fails under an
+  /// exclusive holder or in TTAS mode.
+  bool try_lock_shared() noexcept { return lk_.try_lock_shared(); }
+
+  void unlock_shared() noexcept { lk_.unlock_shared(); }
+
+  /// Sleep (not spin) until no update/exclusive holder exists; returns
+  /// wake-ups. Callers re-check their own condition afterwards.
+  std::uint32_t wait_unlocked() noexcept { return lk_.wait_not_locked(); }
+
+  /// Raw owner word; plain-HTM transactions read this to subscribe to the
+  /// lock (the read puts the lock's line into their read set, so a later
+  /// acquisition aborts them).
+  std::uint32_t owner_word() const noexcept {
+    return owner_.load(std::memory_order_acquire);
+  }
+
+ private:
+  SlimLock lk_;
+  std::atomic<std::uint32_t> owner_{kNoOwner};
+};
+
+}  // namespace si::util

@@ -1,8 +1,11 @@
-// Test-and-test-and-set spinlocks used for line-table buckets and the SGL.
+// Test-and-test-and-set spinlocks used for line-table buckets, plus the
+// shared spin-wait policy every busy-wait loop in the tree escalates
+// through. The SGL itself lives in slim_lock.hpp.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -21,6 +24,34 @@ inline void cpu_relax() noexcept {
 #endif
 }
 
+/// Escalating spin-wait policy: short cpu_relax bursts that double per round,
+/// then sched yields. All spin loops (Spinlock, line-table buckets, the slim
+/// lock's pre-sleep spin) share this one policy so tuning lives in one place.
+///
+/// step() returns true while the caller is inside the relax-burst budget and
+/// false from the first yield onward — a caller that can block (the slim
+/// lock) treats the first false as "stop spinning, go to sleep"; a caller
+/// that cannot (Spinlock) just keeps calling step() and gets yields.
+class SpinWait {
+ public:
+  bool step() noexcept {
+    if (round_ < kRelaxRounds) {
+      const int burst = 1 << (round_ < 6 ? round_ : 6);
+      for (int i = 0; i < burst; ++i) cpu_relax();
+      ++round_;
+      return true;
+    }
+    std::this_thread::yield();
+    return false;
+  }
+
+  void reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr int kRelaxRounds = 8;  // 1+2+..+64+64+64 relaxes total
+  int round_ = 0;
+};
+
 /// Minimal TTAS spinlock. Satisfies Lockable, so it composes with
 /// std::lock_guard / std::scoped_lock.
 class Spinlock {
@@ -30,12 +61,19 @@ class Spinlock {
   Spinlock& operator=(const Spinlock&) = delete;
 
   void lock() noexcept {
+    SpinWait sw;
     for (;;) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
-      while (flag_.load(std::memory_order_relaxed)) cpu_relax();
+      while (flag_.load(std::memory_order_relaxed)) sw.step();
     }
   }
 
+  /// Acquire-on-success: the relaxed pre-read is only an optimisation that
+  /// dodges the cache-line write when the lock is visibly held — it can
+  /// produce a false negative (stale "held") but never success, and every
+  /// successful path goes through the exchange, whose acquire order is what
+  /// callers rely on for the critical section. A relaxed failure returns
+  /// without ordering, which is all the Lockable contract promises.
   bool try_lock() noexcept {
     return !flag_.load(std::memory_order_relaxed) &&
            !flag_.exchange(true, std::memory_order_acquire);
@@ -45,53 +83,6 @@ class Spinlock {
 
  private:
   std::atomic<bool> flag_{false};
-};
-
-/// Single global lock with owner identity, as required by the SGL fall-back
-/// paths of HTM and SI-HTM. `kNoOwner` means unlocked. The owner id lets
-/// TxEndExt distinguish "I hold the SGL" from "somebody else does"
-/// (Algorithm 2, line 31 of the paper).
-class OwnedGlobalLock {
- public:
-  static constexpr std::uint32_t kNoOwner = ~std::uint32_t{0};
-
-  /// True iff any thread currently holds the lock.
-  bool is_locked() const noexcept {
-    return owner_.load(std::memory_order_acquire) != kNoOwner;
-  }
-
-  /// True iff thread `tid` currently holds the lock.
-  bool is_locked_by(std::uint32_t tid) const noexcept {
-    return owner_.load(std::memory_order_acquire) == tid;
-  }
-
-  /// Blocking acquire, spinning until the lock is free.
-  void lock(std::uint32_t tid) noexcept {
-    std::uint32_t expected = kNoOwner;
-    while (!owner_.compare_exchange_weak(expected, tid, std::memory_order_acquire,
-                                         std::memory_order_relaxed)) {
-      expected = kNoOwner;
-      cpu_relax();
-    }
-  }
-
-  bool try_lock(std::uint32_t tid) noexcept {
-    std::uint32_t expected = kNoOwner;
-    return owner_.compare_exchange_strong(expected, tid, std::memory_order_acquire,
-                                          std::memory_order_relaxed);
-  }
-
-  void unlock() noexcept { owner_.store(kNoOwner, std::memory_order_release); }
-
-  /// Raw owner word; plain-HTM transactions read this to subscribe to the
-  /// lock (the read puts the lock's line into their read set, so a later
-  /// acquisition aborts them).
-  std::uint32_t owner_word() const noexcept {
-    return owner_.load(std::memory_order_acquire);
-  }
-
- private:
-  std::atomic<std::uint32_t> owner_{kNoOwner};
 };
 
 }  // namespace si::util

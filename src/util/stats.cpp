@@ -36,6 +36,7 @@ ThreadStats& ThreadStats::operator+=(const ThreadStats& other) noexcept {
   }
   wait_cycles += other.wait_cycles;
   sgl_wait_cycles += other.sgl_wait_cycles;
+  sgl_sleep_wakeups += other.sgl_sleep_wakeups;
   fast_path += other.fast_path;
   return *this;
 }

@@ -92,6 +92,8 @@ struct alignas(128) ThreadStats {
   std::uint64_t aborts_by_cause[static_cast<int>(AbortCause::kCauseCount_)] = {};
   std::uint64_t wait_cycles = 0;    ///< time spent in the safety wait
   std::uint64_t sgl_wait_cycles = 0;
+  std::uint64_t sgl_sleep_wakeups = 0;  ///< futex wake-ups slept through on
+                                        ///< the slim-lock SGL (0 under TTAS)
   FastPathStats fast_path;          ///< emulation fast-path counters (real
                                     ///< substrate only; zero in the sim)
 

@@ -17,6 +17,7 @@
 #include "maps/skiplist.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/aimd.hpp"
 #include "serve/kv_app.hpp"
 #include "serve/map_app.hpp"
 #include "serve/queue.hpp"
@@ -239,6 +240,120 @@ TEST(ServeStop, SubmitAfterStopIsRejected) {
   EXPECT_EQ(c.accepted, 0u);
   EXPECT_EQ(c.completed, 0u);
   EXPECT_EQ(c.rejected_stopped, 2u);
+}
+
+// --- AIMD admission control (serve/aimd.hpp, DESIGN.md section 11) ----------
+
+// The controller is pure arithmetic, so its whole overload -> recovery arc
+// is testable deterministically: epochs whose p99 blows the target cut the
+// watermark multiplicatively down to the floor, and idle epochs (the shape
+// of "the overload passed and the shed clients went away") raise it
+// additively back to capacity.
+TEST(ServeAimd, ControllerCutsOnOverloadAndIdleEpochsRecover) {
+  AimdConfig acfg;
+  acfg.enabled = true;
+  acfg.target_p99_ns = 1'000'000;  // 1 ms
+  acfg.min_watermark = 8;
+  acfg.add_step = 16;
+  acfg.cut_factor = 0.5;
+  constexpr std::size_t kCapacity = 256;
+  AimdController ctl(acfg, kCapacity, /*initial_watermark=*/kCapacity);
+
+  si::util::Histogram slow;  // every request an order of magnitude over target
+  for (int i = 0; i < 100; ++i) slow.record(10'000'000);
+  si::util::Histogram one_attempt;  // retries mean 1.0: no aborts
+  one_attempt.record(1);
+
+  std::size_t wm = kCapacity;
+  for (int e = 0; e < 10; ++e) {
+    const std::size_t prev = wm;
+    wm = ctl.on_epoch(slow, one_attempt);
+    EXPECT_LE(wm, prev) << "overloaded epoch must never raise";
+  }
+  EXPECT_EQ(wm, acfg.min_watermark);  // halved down to the floor, not below
+  EXPECT_GE(ctl.state().cuts, 5u);    // 256 -> 128 -> 64 -> 32 -> 16 -> 8
+  EXPECT_EQ(ctl.state().last_p99_ns, slow.quantile(0.99));
+
+  const si::util::Histogram idle;  // count() == 0
+  for (int e = 0; e < 32 && wm < kCapacity; ++e) {
+    const std::size_t prev = wm;
+    wm = ctl.on_epoch(idle, idle);
+    EXPECT_GE(wm, prev) << "idle epoch must never cut";
+    EXPECT_LE(wm, prev + acfg.add_step);  // additive, not multiplicative
+  }
+  EXPECT_EQ(wm, kCapacity);  // fully re-opened
+  EXPECT_GT(ctl.state().raises, 0u);
+}
+
+// A quiet-latency epoch can still be a bad epoch when most attempts abort:
+// the retries histogram's mean is attempts-per-commit, so mean 5 is an 80%
+// abort rate — past the 75% default, the controller must cut.
+TEST(ServeAimd, ControllerCutsOnAbortStorm) {
+  AimdConfig acfg;
+  acfg.enabled = true;
+  acfg.target_p99_ns = 1'000'000'000;  // latency goal impossible to miss
+  constexpr std::size_t kCapacity = 64;
+  AimdController ctl(acfg, kCapacity, kCapacity);
+
+  si::util::Histogram fast;
+  for (int i = 0; i < 100; ++i) fast.record(1'000);
+  si::util::Histogram storm;
+  for (int i = 0; i < 100; ++i) storm.record(5);  // 5 attempts per commit
+
+  const std::size_t wm = ctl.on_epoch(fast, storm);
+  EXPECT_LT(wm, kCapacity);
+  EXPECT_EQ(ctl.state().cuts, 1u);
+  EXPECT_GT(ctl.state().last_abort_pct, 75.0);
+}
+
+// End to end through the Service: flood a slow app against an unreachable
+// latency target and the epoch thread must cut the shard watermarks; stop
+// offering load and the idle epochs must re-open admission to capacity.
+// Generous polling deadlines keep this stable on a starved host.
+TEST(ServeAimd, ServiceOverloadCutsThenIdleReopens) {
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 256;
+  cfg.runtime.backend = si::runtime::Backend::kHtm;
+  cfg.aimd.enabled = true;
+  cfg.aimd.target_p99_ns = 1'000;  // 1 us: every busy epoch is an overload
+  cfg.aimd.epoch_us = 2'000;
+  cfg.aimd.min_watermark = 8;
+  cfg.aimd.add_step = 64;
+  SlowApp app;
+  Service<SlowApp> svc(app, cfg);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::atomic<std::uint64_t> done{0};
+  std::uint64_t id = 0;
+  // Phase 1: offer load until the controller has visibly cut.
+  while (svc.aimd_state().cuts == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    Request req = make_req(++id);
+    req.done = count_completion;
+    req.ctx = &done;
+    (void)svc.submit(req);  // rejections are expected and fine
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const AimdState overloaded = svc.aimd_state();
+  EXPECT_GT(overloaded.cuts, 0u) << "controller never cut under overload";
+  EXPECT_LT(overloaded.watermark, cfg.queue_capacity);
+
+  // Phase 2: go quiet; idle epochs must raise the watermark back up.
+  while (svc.aimd_state().watermark < cfg.queue_capacity &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const AimdState recovered = svc.aimd_state();
+  EXPECT_EQ(recovered.watermark, cfg.queue_capacity)
+      << "admission never re-opened after the overload passed";
+  EXPECT_GT(recovered.raises, overloaded.raises);
+
+  svc.stop();
+  const auto c = svc.counters();
+  EXPECT_EQ(c.completed, c.accepted);
+  EXPECT_EQ(done.load(), c.accepted);
 }
 
 TEST(ServeMetrics, RequestTelemetryLandsInHistograms) {

@@ -10,6 +10,7 @@
 #include "util/cli.hpp"
 #include "util/logical_clock.hpp"
 #include "util/rng.hpp"
+#include "util/slim_lock.hpp"
 #include "util/spinlock.hpp"
 #include "util/stats.hpp"
 

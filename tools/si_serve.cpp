@@ -55,6 +55,7 @@ void usage(const char* prog) {
                "usage: %s [-backend si-htm|htm|p8tm|silo|raw-rot]\n"
                "          [-workload hashmap|map|tpcc] [-shards N] [-port P]\n"
                "          [-queue-cap N] [-watermark N] [-batch N]\n"
+               "          [-adaptive] [-target-p99-us N] [-aimd-epoch-us N]\n"
                "          [-buckets N] [-elements N] [-warehouses N]\n"
                "          [-struct skiplist|bst|btree] [-scan-cap N]\n"
                "          [-json FILE]\n",
@@ -338,6 +339,16 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
                 static_cast<unsigned long long>(snap.request_latency.max()),
                 static_cast<unsigned long long>(snap.queue_depth.quantile(0.99)));
   }
+  const auto aimd = service.aimd_state();
+  if (service.config().aimd.enabled) {
+    std::printf("si_serve: aimd watermark=%zu epochs=%llu raises=%llu "
+                "cuts=%llu last-p99=%llu ns last-abort=%.1f%%\n",
+                aimd.watermark, static_cast<unsigned long long>(aimd.epochs),
+                static_cast<unsigned long long>(aimd.raises),
+                static_cast<unsigned long long>(aimd.cuts),
+                static_cast<unsigned long long>(aimd.last_p99_ns),
+                aimd.last_abort_pct);
+  }
 
   si::bench::JsonSink sink = si::bench::JsonSink::from_cli(cli, "si_serve");
   sink.set_backend(backend_name);
@@ -356,6 +367,14 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
           static_cast<double>(snap.request_latency_p50_ns());
       rec.req_latency_p99_ns =
           static_cast<double>(snap.request_latency_p99_ns());
+    }
+    rec.sgl_sleep_wakeups =
+        static_cast<std::int64_t>(rs.totals.sgl_sleep_wakeups);
+    if (service.config().aimd.enabled) {
+      rec.aimd_watermark = static_cast<std::int64_t>(aimd.watermark);
+      rec.aimd_raises = static_cast<std::int64_t>(aimd.raises);
+      rec.aimd_cuts = static_cast<std::int64_t>(aimd.cuts);
+      rec.aimd_last_p99_ns = static_cast<double>(aimd.last_p99_ns);
     }
     sink.add(rec);
     sink.flush();
@@ -393,6 +412,11 @@ int main(int argc, char** argv) {
   scfg.admit_watermark =
       static_cast<std::size_t>(cli.get_int("watermark", 0));
   scfg.batch_max = static_cast<std::size_t>(cli.get_int("batch", 32));
+  scfg.aimd.enabled = cli.has("adaptive");
+  scfg.aimd.target_p99_ns =
+      static_cast<std::uint64_t>(cli.get_int("target-p99-us", 1000)) * 1000;
+  scfg.aimd.epoch_us =
+      static_cast<std::uint32_t>(cli.get_int("aimd-epoch-us", 5000));
   scfg.runtime.max_threads = scfg.shards;
 
   si::obs::Metrics metrics(scfg.shards);
