@@ -95,6 +95,7 @@ struct BenchRecord {
   double safety_wait_p99_ns = -1.0;
   double req_latency_p50_ns = -1.0;  ///< serve layer; <0 = not a serving run
   double req_latency_p99_ns = -1.0;
+  double req_latency_p999_ns = -1.0;
   /// Futex wake-ups taken while blocked on the SGL (slim lock only;
   /// <0 = not measured, 0 = measured and never slept).
   std::int64_t sgl_sleep_wakeups = -1;
@@ -224,6 +225,10 @@ class JsonSink {
         w.value(r.req_latency_p50_ns);
         w.key("req_latency_p99_ns");
         w.value(r.req_latency_p99_ns);
+        if (r.req_latency_p999_ns >= 0) {
+          w.key("req_latency_p999_ns");
+          w.value(r.req_latency_p999_ns);
+        }
       }
       if (r.sgl_sleep_wakeups >= 0) {
         w.key("sgl_sleep_wakeups");

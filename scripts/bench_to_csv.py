@@ -100,6 +100,8 @@ def parse_json(doc):
         if "req_latency_p50_ns" in rec:
             row["req_latency_p50_ns"] = rec["req_latency_p50_ns"]
             row["req_latency_p99_ns"] = rec.get("req_latency_p99_ns", 0.0)
+        if "req_latency_p999_ns" in rec:
+            row["req_latency_p999_ns"] = rec["req_latency_p999_ns"]
         if "sgl_sleep_wakeups" in rec:
             row["sgl_sleep_wakeups"] = rec["sgl_sleep_wakeups"]
         if "aimd_watermark" in rec:
@@ -148,6 +150,7 @@ def compare(old_path, new_path, max_regression=None):
         ("safety_wait_p99_ns", "wait-p99"),
         ("req_latency_p50_ns", "req-p50"),
         ("req_latency_p99_ns", "req-p99"),
+        ("req_latency_p999_ns", "req-p999"),
     ]
     if shared:
         width = max(len(f"{s} {p} x{t}") for s, p, t in shared)

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Saturation sweep over the serving front ends (DESIGN.md section 12).
+
+For each front-end configuration (text/poll vs binary/epoll, reactor
+count) the script starts one si_serve, drives it with closed-loop
+si_loadgen points at increasing connection counts, and merges the
+per-point client-side records (goodput + request-latency percentiles,
+including p999) into a single si-bench-v1 document — the format of the
+committed BENCH_serve.json baseline that CI diffs with
+`bench_to_csv.py --compare --max-regression`.
+
+Systems swept by default:
+    serve-text-r1   the single-threaded poll(2) front end, one request
+                    in flight per connection (the protocol has no ids)
+    serve-bin-r1    the epoll reactor front end, one reactor,
+                    pipelined binary protocol
+    serve-bin-r4    four reactors, same binary protocol
+
+Points are named c{conns}-d{depth} (connection count x pipeline depth);
+the record's `threads` field carries the connection count so --compare
+keys stay unique.
+
+Usage:
+    python3 scripts/serve_sweep.py --out BENCH_serve.json
+    python3 scripts/serve_sweep.py --out smoke.json --quick
+    python3 scripts/serve_sweep.py --out full.json --conns 8,64,512
+
+The server is restarted for every point so no point inherits another's
+admission-control state. Each run's exit code is checked: a loadgen
+exit of 1 (lost / misrouted / failed responses) aborts the sweep.
+"""
+import argparse
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def start_server(args, proto, reactors):
+    cmd = [
+        args.serve,
+        "-backend", args.backend,
+        "-workload", "hashmap",
+        "-shards", str(args.shards),
+        "-port", "0",
+        "-proto", proto,
+        "-reactors", str(reactors),
+        "-buckets", str(args.buckets),
+        "-elements", str(args.elements),
+    ]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    deadline = time.time() + 10
+    port = None
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        m = LISTEN_RE.search(line)
+        if m:
+            port = int(m.group(1))
+            break
+    if port is None:
+        proc.kill()
+        raise SystemExit(f"server never reported a port: {' '.join(cmd)}")
+    return proc, port
+
+
+def stop_server(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+    # Drain the rest of stdout so the pipe closes cleanly.
+    if proc.stdout:
+        proc.stdout.read()
+
+
+def run_point(args, system, proto, reactors, conns, depth):
+    proc, port = start_server(args, proto, reactors)
+    point = f"c{conns}-d{depth}"
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    cmd = [
+        args.loadgen,
+        "-port", str(port),
+        "-proto", proto,
+        "-conns", str(conns),
+        "-requests", str(args.requests),
+        "-keys", str(args.elements * 2),
+        "-json", tmp_path,
+        "-system", system,
+        "-point", point,
+    ]
+    if proto == "bin":
+        cmd += ["-pipeline", str(depth),
+                "-client-threads", str(args.client_threads)]
+    print(f"  {system} {point} ...", flush=True)
+    try:
+        rc = subprocess.run(cmd, timeout=args.timeout).returncode
+        if rc != 0:
+            raise SystemExit(
+                f"loadgen failed (exit {rc}, lost/misrouted responses?): "
+                f"{' '.join(cmd)}")
+        with open(tmp_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(tmp_path)
+        stop_server(proc)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--serve", default="build/tools/si_serve")
+    ap.add_argument("--loadgen", default="build/tools/si_loadgen")
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--backend", default="si-htm")
+    ap.add_argument("--shards", type=int, default=2)
+    ap.add_argument("--buckets", type=int, default=4096)
+    ap.add_argument("--elements", type=int, default=20000)
+    ap.add_argument("--requests", type=int, default=200000)
+    ap.add_argument("--conns", default="8,32,128",
+                    help="comma-separated connection counts per system")
+    ap.add_argument("--depth", type=int, default=8,
+                    help="pipeline depth for the binary points")
+    ap.add_argument("--client-threads", type=int, default=2)
+    ap.add_argument("--timeout", type=int, default=600,
+                    help="per-point loadgen timeout, seconds")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: fewer requests, fewer points")
+    args = ap.parse_args()
+
+    conns_list = [int(c) for c in args.conns.split(",") if c]
+    if args.quick:
+        args.requests = min(args.requests, 40000)
+        conns_list = conns_list[:2]
+
+    # (system, proto, reactors, pipeline depth); depth 1 for the text
+    # protocol, which has no correlation ids and thus no pipelining.
+    systems = [
+        ("serve-text-r1", "text", 1, 1),
+        ("serve-bin-r1", "bin", 1, args.depth),
+        ("serve-bin-r4", "bin", 4, args.depth),
+    ]
+
+    records = []
+    provenance = None
+    for system, proto, reactors, depth in systems:
+        print(f"== {system} (proto={proto}, reactors={reactors}, "
+              f"depth={depth})", flush=True)
+        for conns in conns_list:
+            doc = run_point(args, system, proto, reactors, conns, depth)
+            if provenance is None:
+                provenance = doc.get("provenance", {})
+            records.extend(doc.get("records", []))
+
+    out = {
+        "schema": "si-bench-v1",
+        "bench": "serve_sweep",
+        "provenance": provenance or {},
+        "records": records,
+    }
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ struct HtmSglConfig {
   int max_threads = 80;
   int retries = 10;
 
+  /// Contention-aware retry budgets (protocol/retry_budget.hpp).
+  si::protocol::RetryBudgetConfig retry_budget{};
+
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
 
@@ -39,7 +42,7 @@ class HtmSgl {
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
               cfg.recorder, cfg.obs, cfg.sgl_impl}),
-        core_(sub_, {cfg.retries}) {}
+        core_(sub_, {cfg.retries, cfg.retry_budget}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }
 

@@ -19,6 +19,9 @@ struct P8tmConfig {
   int retries = 10;
   unsigned version_table_bits = 20;
 
+  /// Contention-aware retry budgets (protocol/retry_budget.hpp).
+  si::protocol::RetryBudgetConfig retry_budget{};
+
   /// Optional history recording (see SiHtmConfig::recorder for caveats).
   si::check::HistoryRecorder* recorder = nullptr;
 
@@ -34,7 +37,7 @@ class P8tm {
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, /*straggler_kill_spins=*/0,
               cfg.recorder, cfg.obs}),
-        core_(sub_, {cfg.retries, cfg.version_table_bits}) {}
+        core_(sub_, {cfg.retries, cfg.version_table_bits, cfg.retry_budget}) {}
 
   void register_thread(int tid) { sub_.register_thread(tid); }
 

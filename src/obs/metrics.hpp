@@ -29,6 +29,8 @@ struct MetricsSnapshot {
   si::util::Histogram retries;         ///< attempts per committed transaction
   si::util::Histogram request_latency; ///< serve: enqueue→complete, ns
   si::util::Histogram queue_depth;     ///< serve: shard depth at each dequeue
+  si::util::Histogram reactor_batch;   ///< serve: completions coalesced per wakeup
+  si::util::Histogram reactor_flush_bytes;  ///< serve: bytes per writev flush
 
   std::uint64_t safety_wait_p50_ns() const noexcept {
     return safety_wait.quantile(0.50);
@@ -52,6 +54,8 @@ struct alignas(128) ThreadMetrics {
   si::util::Histogram retries;
   si::util::Histogram request_latency;
   si::util::Histogram queue_depth;
+  si::util::Histogram reactor_batch;
+  si::util::Histogram reactor_flush_bytes;
 };
 
 class Metrics {
@@ -81,6 +85,8 @@ class Metrics {
       s.retries.merge(t.retries);
       s.request_latency.merge(t.request_latency);
       s.queue_depth.merge(t.queue_depth);
+      s.reactor_batch.merge(t.reactor_batch);
+      s.reactor_flush_bytes.merge(t.reactor_flush_bytes);
     }
     return s;
   }

@@ -1,0 +1,74 @@
+// Contention-aware retry budgets for the protocol cores (ROADMAP item 5).
+//
+// The cores historically retried a fixed `retries` times before taking the
+// SGL. That constant is wrong at both ends: under a conflict or straggler
+// storm every retry is near-certain wasted work that only delays the
+// serialisation the workload needs anyway, while on a quiet machine an
+// occasional transient abort deserves more patience than the static budget
+// grants before paying the full drain-the-world cost of the lock.
+//
+// RetryBudget keeps a per-thread EWMA of attempt outcomes (0 = committed,
+// 1 = aborted, `straggler_weight` when the abort was a straggler kill — the
+// signal that this thread is actively being evicted by safety waits) and
+// scales the next transaction's budget linearly between [min_retries,
+// max_retries] by the observed success fraction. The state is 16 bytes per
+// thread, updated only by its owner; the cores keep one slot per tid.
+//
+// Default-off (`enabled = false` preserves the static budget bit-for-bit):
+// the budget reacts to real abort history, so enabling it makes simulated
+// schedules diverge from the seed's — equivalence tests and recorded
+// histories stay on the static path unless a run opts in.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace si::protocol {
+
+struct RetryBudgetConfig {
+  bool enabled = false;  ///< off = the core's static `retries`, unchanged
+  int min_retries = 2;   ///< budget as the abort EWMA approaches 1
+  int max_retries = 20;  ///< budget for an abort-free thread
+  double alpha = 0.10;   ///< EWMA weight of the newest attempt outcome
+  /// Aborts caused by a straggler kill count this many times an ordinary
+  /// abort: being evicted by other threads' safety waits means this
+  /// thread's ROTs are the contention, and it should reach the SGL sooner.
+  double straggler_weight = 2.0;
+};
+
+/// Per-thread budget state; the owning thread is the only writer. Padded so
+/// adjacent tids' slots never share a cache line.
+class alignas(128) RetryBudget {
+ public:
+  void on_commit(const RetryBudgetConfig& cfg) noexcept { update(cfg, 0.0); }
+
+  void on_abort(const RetryBudgetConfig& cfg,
+                si::util::AbortCause cause) noexcept {
+    update(cfg, cause == si::util::AbortCause::kKilledAsStraggler
+                    ? cfg.straggler_weight
+                    : 1.0);
+  }
+
+  /// Attempts the next transaction may burn before falling back. Callers
+  /// gate on cfg.enabled and use the core's static count otherwise.
+  int budget(const RetryBudgetConfig& cfg) const noexcept {
+    double fail = ewma_;
+    if (fail > 1.0) fail = 1.0;
+    const double span = static_cast<double>(cfg.max_retries - cfg.min_retries);
+    const int b =
+        cfg.min_retries + static_cast<int>(span * (1.0 - fail) + 0.5);
+    return b < cfg.min_retries ? cfg.min_retries : b;
+  }
+
+  double abort_ewma() const noexcept { return ewma_; }
+
+ private:
+  void update(const RetryBudgetConfig& cfg, double outcome) noexcept {
+    ewma_ += cfg.alpha * (outcome - ewma_);
+  }
+
+  double ewma_ = 0.0;
+};
+
+}  // namespace si::protocol

@@ -18,6 +18,7 @@
 #include "baselines/silo.hpp"
 #include "check/history.hpp"
 #include "obs/obs.hpp"
+#include "protocol/retry_budget.hpp"
 #include "sihtm/sihtm.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +37,11 @@ struct RuntimeConfig {
   int max_threads = 80;
   int retries = 10;
 
+  /// Contention-aware retry budgets (protocol/retry_budget.hpp): forwarded
+  /// to the HTM / SI-HTM / P8TM cores. Silo retries until commit and raw-ROT
+  /// never falls back, so the budget does not apply to them.
+  si::protocol::RetryBudgetConfig retry_budget{};
+
   /// Forwarded to the selected backend's config (null: recording off).
   si::check::HistoryRecorder* recorder = nullptr;
 
@@ -50,17 +56,20 @@ class Runtime {
       case Backend::kHtm:
         htm_ = std::make_unique<si::baselines::HtmSgl>(si::baselines::HtmSglConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder, .obs = cfg.obs});
+            .retry_budget = cfg.retry_budget, .recorder = cfg.recorder,
+            .obs = cfg.obs});
         break;
       case Backend::kSiHtm:
         sihtm_ = std::make_unique<si::sihtm::SiHtm>(si::sihtm::SiHtmConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder, .obs = cfg.obs});
+            .retry_budget = cfg.retry_budget, .recorder = cfg.recorder,
+            .obs = cfg.obs});
         break;
       case Backend::kP8tm:
         p8tm_ = std::make_unique<si::baselines::P8tm>(si::baselines::P8tmConfig{
             .htm = cfg.htm, .max_threads = cfg.max_threads, .retries = cfg.retries,
-            .recorder = cfg.recorder, .obs = cfg.obs});
+            .retry_budget = cfg.retry_budget, .recorder = cfg.recorder,
+            .obs = cfg.obs});
         break;
       case Backend::kSilo:
         silo_ = std::make_unique<si::baselines::Silo>(si::baselines::SiloConfig{

@@ -21,6 +21,15 @@ namespace si::serve::net {
 /// fd or -1 with `*err` set.
 int listen_tcp(std::uint16_t port, std::string* err);
 
+/// SO_REUSEPORT variant for the multi-reactor front end: each reactor binds
+/// its own listener on the shared port and the kernel load-balances accepts
+/// across them. `backlog` is per listener.
+int listen_tcp_reuseport(std::uint16_t port, int backlog, std::string* err);
+
+/// O_NONBLOCK / TCP_NODELAY toggles for the epoll event loops.
+bool set_nonblocking(int fd);
+void set_nodelay(int fd);
+
 /// The port a bound socket actually listens on (resolves port 0).
 std::uint16_t local_port(int fd);
 

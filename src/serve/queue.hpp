@@ -1,11 +1,14 @@
-// Bounded lock-free MPSC request ring with admission control.
+// Bounded lock-free MPSC ring with admission control.
 //
-// One queue per shard: any number of producers (front-end/client threads)
-// push, exactly one consumer (the shard's worker) pops in batches. The slot
-// protocol is Vyukov's bounded MPMC queue — each cell carries a sequence
-// number that tells producers whether the cell is free and the consumer
-// whether it is published — restricted to a single consumer, so the pop side
-// needs no CAS at all.
+// MpscRing<T> carries any trivially-copyable payload: any number of
+// producers push, exactly one consumer pops in batches. The slot protocol is
+// Vyukov's bounded MPMC queue — each cell carries a sequence number that
+// tells producers whether the cell is free and the consumer whether it is
+// published — restricted to a single consumer, so the pop side needs no CAS
+// at all. Two instantiations exist: RequestQueue (one per shard, requests
+// from client threads to the shard worker) and the reactors' completion
+// rings (responses from shard workers back to the owning reactor,
+// serve/reactor.hpp).
 //
 // Backpressure is two-level, per the serving design (DESIGN.md section 9):
 //  * `watermark` (admission control): try_push refuses with kBusy once the
@@ -38,11 +41,12 @@ enum class Admit : std::uint8_t {
   kStopped,  ///< service shutting down; never returned by the queue itself
 };
 
-class RequestQueue {
+template <typename T>
+class MpscRing {
  public:
   /// `capacity` is rounded up to a power of two. `watermark` = 0 disables
   /// admission control (only the hard capacity bound applies).
-  explicit RequestQueue(std::size_t capacity, std::size_t watermark = 0)
+  explicit MpscRing(std::size_t capacity, std::size_t watermark = 0)
       : cap_(round_pow2(capacity < 2 ? 2 : capacity)),
         mask_(cap_ - 1),
         watermark_(watermark == 0 || watermark > cap_ ? cap_ : watermark),
@@ -52,8 +56,8 @@ class RequestQueue {
     }
   }
 
-  RequestQueue(const RequestQueue&) = delete;
-  RequestQueue& operator=(const RequestQueue&) = delete;
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
 
   std::size_t capacity() const noexcept { return cap_; }
   std::size_t watermark() const noexcept {
@@ -70,7 +74,7 @@ class RequestQueue {
   }
 
   /// Producer side; safe from any number of threads concurrently.
-  Admit try_push(const Request& req) noexcept {
+  Admit try_push(const T& item) noexcept {
     // Admission pre-check only when a real watermark is configured; with the
     // watermark disabled (== capacity) the cell protocol below reports the
     // hard bound as kFull instead of mislabeling a full ring as kBusy.
@@ -85,7 +89,7 @@ class RequestQueue {
       if (dif == 0) {
         if (tail_.compare_exchange_weak(pos, pos + 1,
                                         std::memory_order_relaxed)) {
-          cell.req = req;
+          cell.item = item;
           cell.seq.store(pos + 1, std::memory_order_release);
           return Admit::kAccepted;
         }
@@ -100,7 +104,7 @@ class RequestQueue {
 
   /// Consumer side; single thread only. Dequeues up to `max` requests into
   /// `out`, returning how many were taken (0 = queue empty right now).
-  std::size_t pop_batch(Request* out, std::size_t max) noexcept {
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
     std::size_t n = 0;
     std::uint64_t pos = head_.load(std::memory_order_relaxed);
     while (n < max) {
@@ -113,7 +117,7 @@ class RequestQueue {
               static_cast<std::int64_t>(pos + 1) < 0) {
         break;
       }
-      out[n++] = cell.req;
+      out[n++] = cell.item;
       cell.seq.store(pos + cap_, std::memory_order_release);  // free for lap+1
       ++pos;
     }
@@ -135,7 +139,7 @@ class RequestQueue {
  private:
   struct alignas(128) Cell {
     std::atomic<std::uint64_t> seq{0};
-    Request req;
+    T item;
   };
 
   static std::size_t round_pow2(std::size_t v) noexcept {
@@ -151,5 +155,9 @@ class RequestQueue {
   alignas(128) std::atomic<std::uint64_t> head_{0};  ///< the consumer
   std::vector<Cell> cells_;
 };
+
+/// Per-shard request queue: the MPSC ring carrying the service's Request
+/// envelopes (the instantiation all of DESIGN.md section 9 talks about).
+using RequestQueue = MpscRing<Request>;
 
 }  // namespace si::serve

@@ -263,6 +263,7 @@ class Service {
     AimdController ctl(cfg_.aimd, queues_[0]->capacity(),
                        queues_[0]->watermark());
     si::obs::MetricsSnapshot prev = metrics->snapshot();
+    std::uint64_t prev_wakeups = total_sgl_wakeups();
     const auto epoch = std::chrono::microseconds(cfg_.aimd.epoch_us);
     while (!stopping_.load(std::memory_order_acquire)) {
       // Sleep in slices so stop() never waits a full epoch on the join.
@@ -280,7 +281,12 @@ class Service {
       lat.subtract(prev.request_latency);
       si::util::Histogram ret = cur.retries;
       ret.subtract(prev.retries);
-      const std::size_t wm = ctl.on_epoch(lat, ret);
+      // Third signal: this epoch's SGL futex wake-ups (serve/aimd.hpp).
+      const std::uint64_t cur_wakeups = total_sgl_wakeups();
+      const std::uint64_t wakeups_delta =
+          cur_wakeups >= prev_wakeups ? cur_wakeups - prev_wakeups : 0;
+      prev_wakeups = cur_wakeups;
+      const std::size_t wm = ctl.on_epoch(lat, ret, wakeups_delta);
       for (auto& q : queues_) q->set_watermark(wm);
       if (lat.count() > 0) {
         std::uint64_t p50_us = ctl.state().last_p50_ns / 1000;
@@ -295,6 +301,15 @@ class Service {
     }
     std::lock_guard<std::mutex> g(aimd_mu_);
     aimd_state_ = ctl.state();
+  }
+
+  /// Sum of the SGL sleep wake-ups over the worker tids. Racy snapshot of
+  /// plain counters, same tolerance as the histogram snapshots above.
+  std::uint64_t total_sgl_wakeups() {
+    std::uint64_t total = 0;
+    const auto& stats = rt_.thread_stats();
+    for (const auto& ts : stats) total += ts.sgl_sleep_wakeups;
+    return total;
   }
 
   void worker_loop(int tid) {

@@ -1,0 +1,181 @@
+// Binary wire protocol for the serving front end (DESIGN.md section 12).
+//
+// Frames are length-prefixed: a 4-byte little-endian payload length followed
+// by the payload. Payloads are fixed-size little-endian structs:
+//
+//   request  (26 bytes): id u64 | key u64 | arg u64 | op u16
+//   response (17 bytes): id u64 | value u64 | status u8
+//
+// `id` is a client-chosen correlation id echoed back verbatim, which is what
+// lets a client pipeline many requests per connection and match responses
+// that complete out of order across shards. The length prefix makes framing
+// independent of the payload layout, so the format can grow (new opcodes
+// already ride in `op`; new payload kinds would get new sizes) while old
+// parsers still delimit frames correctly.
+//
+// FrameParser is the incremental decoder both sides share: append whatever
+// the socket produced, pull zero or more complete frames out. A length
+// prefix larger than kMaxFrame poisons the stream (there is no way to
+// resynchronise a corrupt length-delimited stream), which is also the
+// defence against a hostile 4-GiB prefix allocating unbounded buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "serve/request.hpp"
+
+namespace si::serve::wire {
+
+inline constexpr std::size_t kLenPrefix = 4;
+inline constexpr std::size_t kRequestPayload = 26;
+inline constexpr std::size_t kResponsePayload = 17;
+inline constexpr std::size_t kRequestFrame = kLenPrefix + kRequestPayload;
+inline constexpr std::size_t kResponseFrame = kLenPrefix + kResponsePayload;
+
+/// Largest payload a peer may announce. Far above both fixed payloads so the
+/// format can grow, far below anything that could be used to balloon the
+/// inbound buffer.
+inline constexpr std::size_t kMaxFrame = 1024;
+
+inline void put_u16(char* p, std::uint16_t v) {
+  p[0] = static_cast<char>(v & 0xFF);
+  p[1] = static_cast<char>((v >> 8) & 0xFF);
+}
+
+inline void put_u32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+inline void put_u64(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+inline std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+inline std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+/// One complete frame's payload (the length prefix already stripped). Valid
+/// only until the parser's next append()/next() call.
+struct FrameView {
+  const char* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// Appends one request frame to `out` (amortises the many-frames-per-send
+/// batching the pipelined client does).
+inline void encode_request(std::string* out, std::uint64_t id,
+                           std::uint16_t op, std::uint64_t key,
+                           std::uint64_t arg) {
+  char buf[kRequestFrame];
+  put_u32(buf, static_cast<std::uint32_t>(kRequestPayload));
+  put_u64(buf + 4, id);
+  put_u64(buf + 12, key);
+  put_u64(buf + 20, arg);
+  put_u16(buf + 28, op);
+  out->append(buf, sizeof(buf));
+}
+
+/// Appends one response frame to `out`.
+inline void encode_response(std::string* out, const Response& resp) {
+  char buf[kResponseFrame];
+  put_u32(buf, static_cast<std::uint32_t>(kResponsePayload));
+  put_u64(buf + 4, resp.id);
+  put_u64(buf + 12, resp.value);
+  buf[20] = static_cast<char>(resp.status);
+  out->append(buf, sizeof(buf));
+}
+
+/// Strict decode: the payload must be exactly the request layout.
+inline bool decode_request(const FrameView& f, std::uint64_t* id,
+                           std::uint16_t* op, std::uint64_t* key,
+                           std::uint64_t* arg) {
+  if (f.len != kRequestPayload) return false;
+  *id = get_u64(f.data);
+  *key = get_u64(f.data + 8);
+  *arg = get_u64(f.data + 16);
+  *op = get_u16(f.data + 24);
+  return true;
+}
+
+inline bool decode_response(const FrameView& f, std::uint64_t* id, int* status,
+                            std::uint64_t* value) {
+  if (f.len != kResponsePayload) return false;
+  *id = get_u64(f.data);
+  *value = get_u64(f.data + 8);
+  *status = static_cast<int>(static_cast<unsigned char>(f.data[16]));
+  return true;
+}
+
+/// Incremental frame splitter over a byte stream. Usage:
+///
+///   parser.append(chunk, n);
+///   FrameView f;
+///   while (parser.next(&f)) handle(f);
+///   if (parser.poisoned()) drop_connection();
+///
+/// next() returns false both on "need more bytes" and on a poisoned stream;
+/// poisoned() disambiguates. Consumed bytes are compacted lazily (only when
+/// the dead prefix outgrows the live remainder) so pipelined bursts do not
+/// memmove per frame.
+class FrameParser {
+ public:
+  void append(const char* data, std::size_t n) {
+    if (poisoned_) return;  // the stream is already undecodable
+    buf_.append(data, n);
+  }
+
+  bool next(FrameView* out) {
+    if (poisoned_) return false;
+    if (buf_.size() - pos_ < kLenPrefix) {
+      compact();
+      return false;
+    }
+    const std::uint32_t len = get_u32(buf_.data() + pos_);
+    if (len > kMaxFrame) {
+      poisoned_ = true;
+      return false;
+    }
+    if (buf_.size() - pos_ < kLenPrefix + len) {
+      compact();
+      return false;
+    }
+    out->data = buf_.data() + pos_ + kLenPrefix;
+    out->len = len;
+    pos_ += kLenPrefix + len;
+    return true;
+  }
+
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Bytes buffered but not yet consumed (telemetry / tests).
+  std::size_t pending() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  void compact() {
+    if (pos_ > 0 && pos_ >= buf_.size() - pos_) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace si::serve::wire

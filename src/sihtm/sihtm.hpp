@@ -22,6 +22,11 @@ struct SiHtmConfig {
   int max_threads = 80;  ///< size of the state array (N in Algorithm 1)
   int retries = 10;      ///< ROT attempts before falling back to the SGL
 
+  /// Contention-aware retry budgets (protocol/retry_budget.hpp): when
+  /// enabled, the per-thread abort EWMA scales the attempt count between
+  /// the budget's [min, max] instead of the static `retries`.
+  si::protocol::RetryBudgetConfig retry_budget{};
+
   /// Straggler-killing policy (the paper's future-work "killing
   /// alternative", section 6): after this many safety-wait spins on one
   /// straggler, kill its hardware transaction instead of waiting it out.
@@ -54,7 +59,7 @@ class SiHtm {
       : cfg_(cfg),
         sub_({cfg.htm, cfg.max_threads, cfg.straggler_kill_spins, cfg.recorder,
               cfg.obs, cfg.sgl_impl, cfg.sgl_shared_ro}),
-        core_(sub_, {cfg.retries}) {}
+        core_(sub_, {cfg.retries, cfg.retry_budget}) {}
 
   /// Binds the calling thread to slot `tid` of the state array.
   void register_thread(int tid) { sub_.register_thread(tid); }

@@ -1,0 +1,116 @@
+// Tests for the contention-aware retry budgets (protocol/retry_budget.hpp)
+// and their wiring through the runtime façade: the per-thread EWMA must
+// shrink the budget under an abort storm, recover it on commits, weight
+// straggler kills harder, and — when disabled — leave the cores on the
+// static retry count so existing schedules stay bit-for-bit identical.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "protocol/retry_budget.hpp"
+#include "runtime/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace si::protocol {
+namespace {
+
+TEST(RetryBudget, FreshThreadGetsTheFullBudget) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = true;
+  RetryBudget b;
+  EXPECT_EQ(b.budget(cfg), cfg.max_retries);
+  EXPECT_DOUBLE_EQ(b.abort_ewma(), 0.0);
+}
+
+TEST(RetryBudget, AbortStormShrinksToMinAndCommitsRecover) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = true;
+  RetryBudget b;
+
+  // Unbroken aborts drive the EWMA toward 1 and the budget to the floor.
+  int prev = b.budget(cfg);
+  for (int i = 0; i < 100; ++i) {
+    b.on_abort(cfg, si::util::AbortCause::kConflictWrite);
+    const int now = b.budget(cfg);
+    EXPECT_LE(now, prev) << "budget rose during an abort storm";
+    prev = now;
+  }
+  EXPECT_EQ(b.budget(cfg), cfg.min_retries);
+  EXPECT_GT(b.abort_ewma(), 0.99);
+
+  // Unbroken commits recover it back to the ceiling.
+  for (int i = 0; i < 200; ++i) {
+    b.on_commit(cfg);
+    const int now = b.budget(cfg);
+    EXPECT_GE(now, prev) << "budget fell while committing cleanly";
+    prev = now;
+  }
+  EXPECT_EQ(b.budget(cfg), cfg.max_retries);
+  EXPECT_LT(b.abort_ewma(), 0.01);
+}
+
+// Straggler kills are the signal that this thread's ROTs are what everyone
+// else's safety waits are stuck on; they must push the budget down faster
+// than ordinary conflicts.
+TEST(RetryBudget, StragglerKillsWeighHeavier) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = true;
+  RetryBudget plain, straggled;
+  for (int i = 0; i < 5; ++i) {
+    plain.on_abort(cfg, si::util::AbortCause::kConflictWrite);
+    straggled.on_abort(cfg, si::util::AbortCause::kKilledAsStraggler);
+  }
+  EXPECT_GT(straggled.abort_ewma(), plain.abort_ewma());
+  EXPECT_LE(straggled.budget(cfg), plain.budget(cfg));
+}
+
+TEST(RetryBudget, BudgetNeverLeavesTheConfiguredRange) {
+  RetryBudgetConfig cfg;
+  cfg.enabled = true;
+  cfg.min_retries = 3;
+  cfg.max_retries = 7;
+  RetryBudget b;
+  for (int i = 0; i < 50; ++i) {
+    b.on_abort(cfg, si::util::AbortCause::kKilledAsStraggler);  // ewma > 1
+    const int budget = b.budget(cfg);
+    EXPECT_GE(budget, cfg.min_retries);
+    EXPECT_LE(budget, cfg.max_retries);
+  }
+}
+
+// The runtime plumbing: with the budget enabled, every backend that has a
+// retry loop still executes every transaction to completion (the budget
+// only moves *when* the SGL fallback engages, never whether work commits).
+TEST(RetryBudget, EnabledRuntimeStillCommitsEverything) {
+  for (const auto backend : {si::runtime::Backend::kHtm,
+                             si::runtime::Backend::kSiHtm,
+                             si::runtime::Backend::kP8tm}) {
+    si::runtime::RuntimeConfig cfg;
+    cfg.backend = backend;
+    cfg.max_threads = 1;
+    cfg.retry_budget.enabled = true;
+    cfg.retry_budget.min_retries = 1;
+    cfg.retry_budget.max_retries = 4;
+    si::runtime::Runtime rt(cfg);
+    rt.register_thread(0);
+
+    std::uint64_t counter = 0;
+    constexpr std::uint64_t kN = 200;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      rt.execute(/*is_ro=*/false, [&](auto& tx) {
+        const auto v = tx.read(&counter);
+        tx.write(&counter, v + 1);
+      });
+    }
+    std::uint64_t readback = 0;
+    rt.execute(/*is_ro=*/true, [&](auto& tx) { readback = tx.read(&counter); });
+    EXPECT_EQ(readback, kN) << si::runtime::to_string(backend);
+
+    std::uint64_t commits = 0;
+    for (const auto& ts : rt.thread_stats()) commits += ts.commits;
+    EXPECT_EQ(commits, kN + 1) << si::runtime::to_string(backend);
+  }
+}
+
+}  // namespace
+}  // namespace si::protocol

@@ -305,6 +305,12 @@ TEST(StressObs, ConcurrentEmittersWithMidRunCounterReads) {
         sum += tracer.emitted(t) + tracer.dropped(t);
       }
     }
+    // One guaranteed pass after the emitters finish: on a loaded single-CPU
+    // host the reader may never get scheduled before stop flips, so the
+    // mid-run reads alone cannot be asserted on.
+    for (int t = 0; t < kThreads; ++t) {
+      sum += tracer.emitted(t) + tracer.dropped(t);
+    }
     EXPECT_GT(sum, 0u);
   });
   for (auto& th : threads) th.join();

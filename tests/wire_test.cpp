@@ -1,0 +1,232 @@
+// Unit and property tests for the binary wire protocol (serve/wire.hpp):
+// framing round-trips, truncated and oversized length prefixes, interleaved
+// pipelined responses matched by correlation id, and a randomized-chunking
+// property run that feeds the parser the same byte stream split at every
+// arbitrary boundary a socket could produce.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+#include "serve/wire.hpp"
+#include "util/rng.hpp"
+
+namespace si::serve::wire {
+namespace {
+
+Response make_resp(std::uint64_t id, std::uint64_t value, Status status) {
+  Response r;
+  r.id = id;
+  r.value = value;
+  r.status = status;
+  return r;
+}
+
+TEST(Wire, RequestRoundTrip) {
+  std::string buf;
+  encode_request(&buf, /*id=*/0x0123456789ABCDEFull, /*op=*/0xBEEF,
+                 /*key=*/0xFEDCBA9876543210ull, /*arg=*/42);
+  ASSERT_EQ(buf.size(), kRequestFrame);
+
+  FrameParser p;
+  p.append(buf.data(), buf.size());
+  FrameView f;
+  ASSERT_TRUE(p.next(&f));
+  std::uint64_t id = 0, key = 0, arg = 0;
+  std::uint16_t op = 0;
+  ASSERT_TRUE(decode_request(f, &id, &op, &key, &arg));
+  EXPECT_EQ(id, 0x0123456789ABCDEFull);
+  EXPECT_EQ(op, 0xBEEF);
+  EXPECT_EQ(key, 0xFEDCBA9876543210ull);
+  EXPECT_EQ(arg, 42u);
+  EXPECT_FALSE(p.next(&f));
+  EXPECT_FALSE(p.poisoned());
+  EXPECT_EQ(p.pending(), 0u);
+}
+
+TEST(Wire, ResponseRoundTrip) {
+  std::string buf;
+  encode_response(&buf, make_resp(7, 0xA5A5A5A5u, Status::kRejected));
+  ASSERT_EQ(buf.size(), kResponseFrame);
+
+  FrameParser p;
+  p.append(buf.data(), buf.size());
+  FrameView f;
+  ASSERT_TRUE(p.next(&f));
+  std::uint64_t id = 0, value = 0;
+  int status = -1;
+  ASSERT_TRUE(decode_response(f, &id, &status, &value));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(value, 0xA5A5A5A5u);
+  EXPECT_EQ(status, static_cast<int>(Status::kRejected));
+}
+
+// A truncated prefix (or truncated payload) must pend, never produce a
+// frame, and never poison: more bytes may still arrive.
+TEST(Wire, TruncatedPrefixAndPayloadPend) {
+  std::string buf;
+  encode_request(&buf, 1, 2, 3, 4);
+
+  FrameParser p;
+  FrameView f;
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    FrameParser partial;
+    partial.append(buf.data(), cut);
+    EXPECT_FALSE(partial.next(&f)) << "frame produced from " << cut
+                                   << " of " << buf.size() << " bytes";
+    EXPECT_FALSE(partial.poisoned());
+    EXPECT_EQ(partial.pending(), cut);
+  }
+  // The full frame still parses after arriving byte by byte.
+  for (char c : buf) p.append(&c, 1);
+  ASSERT_TRUE(p.next(&f));
+  EXPECT_EQ(f.len, kRequestPayload);
+}
+
+// A length prefix above kMaxFrame poisons the stream permanently: no frame
+// comes out, later appends are ignored, and the caller must drop the
+// connection (there is no resynchronising a corrupt length-prefixed stream).
+TEST(Wire, OversizedPrefixPoisons) {
+  char prefix[kLenPrefix];
+  put_u32(prefix, static_cast<std::uint32_t>(kMaxFrame + 1));
+
+  FrameParser p;
+  p.append(prefix, sizeof(prefix));
+  FrameView f;
+  EXPECT_FALSE(p.next(&f));
+  EXPECT_TRUE(p.poisoned());
+
+  // A well-formed frame appended afterwards must not resurrect the stream.
+  std::string good;
+  encode_request(&good, 1, 2, 3, 4);
+  p.append(good.data(), good.size());
+  EXPECT_FALSE(p.next(&f));
+  EXPECT_TRUE(p.poisoned());
+}
+
+// A hostile 4-GiB announcement must poison, not allocate.
+TEST(Wire, HugePrefixPoisonsWithoutBuffering) {
+  char prefix[kLenPrefix];
+  put_u32(prefix, 0xFFFFFFFFu);
+  FrameParser p;
+  p.append(prefix, sizeof(prefix));
+  FrameView f;
+  EXPECT_FALSE(p.next(&f));
+  EXPECT_TRUE(p.poisoned());
+}
+
+// Strict decode: a frame of the wrong payload size is rejected even though
+// the framing layer delimited it correctly.
+TEST(Wire, WrongPayloadSizeRejectedByDecode) {
+  char buf[kLenPrefix + 5];
+  put_u32(buf, 5);
+  std::memset(buf + kLenPrefix, 0, 5);
+  FrameParser p;
+  p.append(buf, sizeof(buf));
+  FrameView f;
+  ASSERT_TRUE(p.next(&f));  // framing is fine ...
+  std::uint64_t id, key, arg, value;
+  std::uint16_t op;
+  int status;
+  EXPECT_FALSE(decode_request(f, &id, &op, &key, &arg));  // ... decode is not
+  EXPECT_FALSE(decode_response(f, &id, &status, &value));
+}
+
+// Pipelining: many responses with distinct correlation ids, concatenated in
+// an arbitrary (interleaved) completion order, must come back out in exactly
+// that order with ids intact — the id is what lets the client re-associate.
+TEST(Wire, InterleavedPipelinedResponsesMatchCorrelationIds) {
+  constexpr int kN = 64;
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < kN; ++i) order.push_back(static_cast<std::uint64_t>(i));
+  // Deterministic shuffle: completions arrive out of submission order.
+  si::util::Xoshiro256 rng(99);
+  for (int i = kN - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng.below(static_cast<std::uint64_t>(i + 1))]);
+  }
+
+  std::string stream;
+  for (std::uint64_t id : order) {
+    encode_response(&stream, make_resp(id, id * 3, Status::kOk));
+  }
+
+  FrameParser p;
+  p.append(stream.data(), stream.size());
+  FrameView f;
+  std::size_t at = 0;
+  while (p.next(&f)) {
+    std::uint64_t id = 0, value = 0;
+    int status = -1;
+    ASSERT_TRUE(decode_response(f, &id, &status, &value));
+    ASSERT_LT(at, order.size());
+    EXPECT_EQ(id, order[at]);
+    EXPECT_EQ(value, order[at] * 3);
+    ++at;
+  }
+  EXPECT_EQ(at, order.size());
+  EXPECT_FALSE(p.poisoned());
+  EXPECT_EQ(p.pending(), 0u);
+}
+
+// Property: a mixed request/response stream split into random chunks (the
+// arbitrary boundaries TCP can introduce) always reassembles to the same
+// frame sequence, whatever the chunking.
+TEST(Wire, RandomChunkingRoundTripsProperty) {
+  si::util::Xoshiro256 rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    const int n_frames = 1 + static_cast<int>(rng.below(40));
+    std::string stream;
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < n_frames; ++i) {
+      const std::uint64_t id = rng();
+      ids.push_back(id);
+      if (rng.below(2) == 0) {
+        encode_request(&stream, id, static_cast<std::uint16_t>(rng.below(8)),
+                       rng(), rng());
+      } else {
+        encode_response(
+            &stream, make_resp(id, rng(),
+                               rng.below(2) == 0 ? Status::kOk
+                                                 : Status::kRejected));
+      }
+    }
+
+    FrameParser p;
+    FrameView f;
+    std::size_t fed = 0;
+    std::size_t got = 0;
+    auto drain = [&] {
+      while (p.next(&f)) {
+        std::uint64_t id = 0, key = 0, arg = 0, value = 0;
+        std::uint16_t op = 0;
+        int status = -1;
+        if (f.len == kRequestPayload) {
+          ASSERT_TRUE(decode_request(f, &id, &op, &key, &arg));
+        } else {
+          ASSERT_EQ(f.len, kResponsePayload);
+          ASSERT_TRUE(decode_response(f, &id, &status, &value));
+        }
+        ASSERT_LT(got, ids.size());
+        EXPECT_EQ(id, ids[got]);
+        ++got;
+      }
+    };
+    while (fed < stream.size()) {
+      const std::size_t chunk =
+          1 + static_cast<std::size_t>(rng.below(
+                  static_cast<std::uint64_t>(stream.size() - fed)));
+      p.append(stream.data() + fed, chunk);
+      fed += chunk;
+      drain();
+    }
+    EXPECT_EQ(got, ids.size()) << "round " << round;
+    EXPECT_FALSE(p.poisoned());
+    EXPECT_EQ(p.pending(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace si::serve::wire

@@ -1,10 +1,20 @@
-// si_loadgen — load generator for si_serve (DESIGN.md section 9).
+// si_loadgen — load generator for si_serve (DESIGN.md sections 9 and 12).
 //
-// Closed loop (default): N connections, each keeping exactly one request in
-// flight, optional think time. Offered load adapts to service capacity, so
-// every request eventually completes — the classic benchmark shape:
+// Closed loop (default): N connections, each keeping up to `-pipeline D`
+// requests in flight. Offered load adapts to service capacity, so every
+// request eventually completes — the classic benchmark shape:
 //
 //   si_loadgen -port 7070 -conns 8 -requests 100000
+//
+// With `-proto bin` (the default, matching si_serve) the generator runs an
+// epoll engine: `-client-threads T` event-loop threads, each owning
+// conns/T non-blocking connections speaking the length-prefixed binary
+// protocol (serve/wire.hpp). Requests are encoded back-to-back and flushed
+// in one send, responses are matched to in-flight requests by correlation
+// id — a response with an unknown id counts as `misrouted` and fails the
+// run. This engine scales to tens of thousands of concurrent pipelined
+// connections. `-proto text` keeps the original one-request-in-flight
+// thread-per-connection loop over the newline protocol.
 //
 // Open loop: a target aggregate arrival rate with Poisson (exponential
 // inter-arrival) spacing, requests issued without waiting for responses.
@@ -26,23 +36,27 @@
 // request is op 255 (mix-sampled by the server).
 #include <cmath>
 #include <cstdio>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "obs/trace.hpp"  // wall_ns
 #include "serve/kv_app.hpp"
 #include "serve/map_app.hpp"
 #include "serve/net.hpp"
 #include "serve/request.hpp"
 #include "serve/tpcc_app.hpp"
+#include "serve/wire.hpp"
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -64,6 +78,9 @@ struct Options {
   double duration_s = 5.0;   ///< send window (open loop)
   bool tpcc = false;
   std::uint64_t seed = 7;
+  bool bin = true;          ///< -proto bin (default) | text
+  int pipeline = 8;         ///< max requests in flight per connection (bin)
+  int client_threads = 2;   ///< epoll event-loop threads (bin)
 };
 
 struct ConnResult {
@@ -72,6 +89,7 @@ struct ConnResult {
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;
   std::uint64_t lost = 0;
+  std::uint64_t misrouted = 0;  ///< responses whose id matched nothing in flight
   std::uint64_t retries = 0;  ///< closed loop: resubmissions after rejection
   si::util::Histogram latency;
   bool io_error = false;
@@ -80,10 +98,11 @@ struct ConnResult {
 void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [-host H] [-port P] [-conns N] [-requests TOTAL]\n"
+               "          [-proto bin|text] [-pipeline D] [-client-threads T]\n"
                "          [-ro PCT] [-keys N] [-think-us US] [-seed S]\n"
                "          [-range PCT] [-span N]\n"
                "          [-mode closed|open] [-rate REQ_S] [-duration-s S]\n"
-               "          [-tpcc]\n",
+               "          [-tpcc] [-json FILE] [-system NAME] [-point NAME]\n",
                prog);
 }
 
@@ -307,6 +326,317 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
   ::close(fd);
 }
 
+// ---------------------------------------------------------------------------
+// Binary pipelined epoll engine (closed loop, -proto bin).
+//
+// Each client thread owns an epoll set over its share of the connections.
+// A connection keeps up to `-pipeline D` requests in flight: requests are
+// encoded back-to-back into one outbound buffer and flushed in a single
+// send, responses are split by the shared FrameParser and matched to the
+// in-flight table by correlation id. A response that matches nothing counts
+// as `misrouted` (the acceptance signal that completions were routed to the
+// wrong connection). Rejections re-arm after the server's retry hint while
+// still occupying their pipeline slot, so the loop stays closed.
+
+struct PendingReq {
+  double t0 = 0.0;
+  std::uint16_t op = 0;
+  std::uint64_t key = 0;
+  std::uint64_t arg = 0;
+};
+
+struct RetryReq {
+  double due_ns = 0.0;
+  std::uint64_t id = 0;
+  std::uint16_t op = 0;
+  std::uint64_t key = 0;
+  std::uint64_t arg = 0;
+};
+
+struct BinConn {
+  int fd = -1;
+  std::uint64_t next_id = 0;
+  std::uint64_t quota_left = 0;
+  si::serve::wire::FrameParser parser;
+  std::string out;
+  std::size_t out_off = 0;
+  std::unordered_map<std::uint64_t, PendingReq> pending;
+  std::vector<RetryReq> retries;
+  MixSampler mix;
+  ConnResult* res = nullptr;
+  bool want_write = false;
+  bool done = false;
+};
+
+class BinEngine {
+ public:
+  BinEngine(const Options& opt, std::vector<BinConn*> conns)
+      : opt_(opt), conns_(std::move(conns)) {}
+
+  void run() {
+    ep_ = ::epoll_create1(0);
+    if (ep_ < 0) {
+      for (BinConn* c : conns_) c->res->io_error = true;
+      return;
+    }
+    for (BinConn* c : conns_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = c;
+      ::epoll_ctl(ep_, EPOLL_CTL_ADD, c->fd, &ev);
+      ++live_;
+      issue_new(*c);
+      if (!flush(*c)) {
+        kill(*c);
+      } else if (finished(*c)) {
+        finish(*c);
+      }
+    }
+
+    epoll_event events[512];
+    while (live_ > 0) {
+      // Retry hints are µs–ms scale; poll tightly while any retry is armed.
+      const int timeout_ms = total_retries_ > 0 ? 1 : 100;
+      const int ne = ::epoll_wait(ep_, events, 512, timeout_ms);
+      for (int i = 0; i < ne; ++i) {
+        auto* c = static_cast<BinConn*>(events[i].data.ptr);
+        if (c->done) continue;
+        const std::uint32_t ev = events[i].events;
+        if ((ev & (EPOLLERR | EPOLLHUP)) != 0 && (ev & EPOLLIN) == 0) {
+          kill(*c);
+          continue;
+        }
+        if ((ev & EPOLLOUT) != 0 && !flush(*c)) {
+          kill(*c);
+          continue;
+        }
+        if ((ev & EPOLLIN) != 0) {
+          if (!handle_read(*c)) {
+            kill(*c);
+            continue;
+          }
+          issue_new(*c);
+          if (!flush(*c)) {
+            kill(*c);
+            continue;
+          }
+          if (finished(*c)) finish(*c);
+        }
+      }
+      if (total_retries_ > 0) resend_due();
+    }
+    ::close(ep_);
+  }
+
+ private:
+  bool finished(const BinConn& c) const noexcept {
+    return c.quota_left == 0 && c.pending.empty() && c.retries.empty();
+  }
+
+  /// Tops the pipeline up with first-time requests. Slots held by armed
+  /// retries stay occupied, keeping the loop closed under rejection.
+  void issue_new(BinConn& c) {
+    while (c.quota_left > 0 &&
+           c.pending.size() + c.retries.size() <
+               static_cast<std::size_t>(opt_.pipeline)) {
+      std::uint16_t op = 0;
+      std::uint64_t key = 0, arg = 0;
+      c.mix.sample(&op, &key, &arg);
+      const std::uint64_t id = ++c.next_id;
+      si::serve::wire::encode_request(&c.out, id, op, key, arg);
+      c.pending.emplace(id, PendingReq{si::obs::wall_ns(), op, key, arg});
+      --c.quota_left;
+      ++c.res->sent;
+    }
+  }
+
+  /// Re-sends retries whose hint deadline passed (all connections).
+  void resend_due() {
+    const double now = si::obs::wall_ns();
+    for (BinConn* cp : conns_) {
+      BinConn& c = *cp;
+      if (c.done || c.retries.empty()) continue;
+      bool resent = false;
+      for (std::size_t i = 0; i < c.retries.size();) {
+        if (c.retries[i].due_ns > now) {
+          ++i;
+          continue;
+        }
+        const RetryReq r = c.retries[i];
+        c.retries[i] = c.retries.back();
+        c.retries.pop_back();
+        --total_retries_;
+        si::serve::wire::encode_request(&c.out, r.id, r.op, r.key, r.arg);
+        c.pending.emplace(r.id,
+                          PendingReq{si::obs::wall_ns(), r.op, r.key, r.arg});
+        ++c.res->sent;
+        resent = true;
+      }
+      if (resent && !flush(c)) kill(c);
+    }
+  }
+
+  bool flush(BinConn& c) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      return false;
+    }
+    if (c.out_off >= c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+    } else if (c.out_off >= c.out.size() - c.out_off) {
+      c.out.erase(0, c.out_off);
+      c.out_off = 0;
+    }
+    const bool ww = c.out.size() > c.out_off;
+    if (ww != c.want_write) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | (ww ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+      ev.data.ptr = &c;
+      ::epoll_ctl(ep_, EPOLL_CTL_MOD, c.fd, &ev);
+      c.want_write = ww;
+    }
+    return true;
+  }
+
+  bool handle_read(BinConn& c) {
+    for (;;) {
+      const ssize_t n = ::recv(c.fd, chunk_, sizeof(chunk_), 0);
+      if (n > 0) {
+        c.parser.append(chunk_, static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < sizeof(chunk_)) break;
+        continue;
+      }
+      if (n == 0) return false;  // EOF with requests possibly in flight
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    si::serve::wire::FrameView f;
+    while (c.parser.next(&f)) {
+      std::uint64_t id = 0, value = 0;
+      int status = 0;
+      if (!si::serve::wire::decode_response(f, &id, &status, &value)) {
+        c.res->io_error = true;
+        return false;
+      }
+      const auto it = c.pending.find(id);
+      if (it == c.pending.end()) {
+        ++c.res->misrouted;
+        continue;
+      }
+      if (status == static_cast<int>(si::serve::Status::kOk)) {
+        ++c.res->ok;
+        c.res->latency.record(
+            static_cast<std::uint64_t>(si::obs::wall_ns() - it->second.t0));
+      } else if (status == static_cast<int>(si::serve::Status::kRejected)) {
+        ++c.res->rejected;
+        ++c.res->retries;
+        const double hint_us = value > 0 ? static_cast<double>(value) : 100.0;
+        c.retries.push_back(RetryReq{si::obs::wall_ns() + hint_us * 1000.0, id,
+                                     it->second.op, it->second.key,
+                                     it->second.arg});
+        ++total_retries_;
+      } else {
+        ++c.res->failed;
+      }
+      c.pending.erase(it);
+    }
+    if (c.parser.poisoned()) {
+      c.res->io_error = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Graceful completion: the quota is served and nothing is outstanding.
+  void finish(BinConn& c) {
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    c.done = true;
+    --live_;
+  }
+
+  /// Fatal drop: everything outstanding or unissued on this connection is
+  /// lost (and the retries it held leave the armed count).
+  void kill(BinConn& c) {
+    c.res->io_error = true;
+    c.res->lost += c.pending.size() + c.retries.size() + c.quota_left;
+    total_retries_ -= c.retries.size();
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+    c.done = true;
+    --live_;
+  }
+
+  const Options& opt_;
+  std::vector<BinConn*> conns_;
+  int ep_ = -1;
+  std::size_t live_ = 0;
+  std::size_t total_retries_ = 0;
+  char chunk_[64 * 1024];
+};
+
+/// Connects every connection up front, partitions them round-robin over the
+/// client threads and runs the engines. Results land in `results`.
+void run_bin_closed_loop(const Options& opt, std::vector<ConnResult>* results) {
+  std::vector<std::unique_ptr<BinConn>> conns;
+  conns.reserve(static_cast<std::size_t>(opt.conns));
+  const std::uint64_t n_conns = static_cast<std::uint64_t>(opt.conns);
+  for (int c = 0; c < opt.conns; ++c) {
+    std::string err;
+    const int fd = si::serve::net::connect_tcp(opt.host, opt.port, &err);
+    if (fd < 0) {
+      std::fprintf(stderr, "conn %d: %s\n", c, err.c_str());
+      (*results)[static_cast<std::size_t>(c)].io_error = true;
+      continue;
+    }
+    si::serve::net::set_nonblocking(fd);
+    auto conn = std::make_unique<BinConn>();
+    conn->fd = fd;
+    conn->next_id = static_cast<std::uint64_t>(c) << 32;
+    const std::uint64_t uc = static_cast<std::uint64_t>(c);
+    conn->quota_left =
+        opt.requests / n_conns + (uc < opt.requests % n_conns ? 1 : 0);
+    conn->mix =
+        MixSampler{si::util::Xoshiro256(opt.seed ^ (0x9E3779B9ULL * (c + 1))),
+                   opt.ro_pct, opt.range_pct, opt.span, opt.keys, opt.tpcc};
+    conn->res = &(*results)[static_cast<std::size_t>(c)];
+    conns.push_back(std::move(conn));
+  }
+
+  const int n_threads =
+      opt.client_threads < 1
+          ? 1
+          : (static_cast<std::size_t>(opt.client_threads) > conns.size() &&
+                     !conns.empty()
+                 ? static_cast<int>(conns.size())
+                 : opt.client_threads);
+  std::vector<std::vector<BinConn*>> shares(
+      static_cast<std::size_t>(n_threads));
+  for (std::size_t i = 0; i < conns.size(); ++i) {
+    shares[i % static_cast<std::size_t>(n_threads)].push_back(conns[i].get());
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_threads));
+  for (auto& share : shares) {
+    threads.emplace_back([&opt, share = std::move(share)]() mutable {
+      BinEngine engine(opt, std::move(share));
+      engine.run();
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,30 +661,51 @@ int main(int argc, char** argv) {
   opt.duration_s = cli.get_double("duration-s", opt.duration_s);
   opt.tpcc = cli.has("tpcc");
   opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const std::string proto = cli.get("proto", "bin");
+  opt.bin = proto == "bin";
+  if (!opt.bin && proto != "text") {
+    std::fprintf(stderr, "unknown protocol: %s\n", proto.c_str());
+    usage(argv[0]);
+    return 2;
+  }
+  opt.pipeline = static_cast<int>(cli.get_int("pipeline", 8));
+  if (opt.pipeline < 1) opt.pipeline = 1;
+  opt.client_threads = static_cast<int>(cli.get_int("client-threads", 2));
   if (opt.conns < 1) opt.conns = 1;
+  if (opt.bin && opt.open_loop) {
+    std::fprintf(stderr,
+                 "open-loop mode runs over the text protocol; use "
+                 "-proto text -mode open\n");
+    return 2;
+  }
 
   std::vector<ConnResult> results(static_cast<std::size_t>(opt.conns));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(opt.conns));
 
   const double t0 = si::obs::wall_ns();
-  for (int c = 0; c < opt.conns; ++c) {
-    ConnResult* out = &results[static_cast<std::size_t>(c)];
-    if (opt.open_loop) {
-      threads.emplace_back([&opt, c, out] { open_loop_conn(opt, c, out); });
-    } else {
-      const std::uint64_t base = opt.requests / static_cast<std::uint64_t>(opt.conns);
-      const std::uint64_t extra =
-          static_cast<std::uint64_t>(c) <
-                  opt.requests % static_cast<std::uint64_t>(opt.conns)
-              ? 1
-              : 0;
-      const std::uint64_t quota = base + extra;
-      threads.emplace_back(
-          [&opt, c, quota, out] { closed_loop_conn(opt, c, quota, out); });
+  if (opt.bin) {
+    run_bin_closed_loop(opt, &results);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(opt.conns));
+    for (int c = 0; c < opt.conns; ++c) {
+      ConnResult* out = &results[static_cast<std::size_t>(c)];
+      if (opt.open_loop) {
+        threads.emplace_back([&opt, c, out] { open_loop_conn(opt, c, out); });
+      } else {
+        const std::uint64_t base =
+            opt.requests / static_cast<std::uint64_t>(opt.conns);
+        const std::uint64_t extra =
+            static_cast<std::uint64_t>(c) <
+                    opt.requests % static_cast<std::uint64_t>(opt.conns)
+                ? 1
+                : 0;
+        const std::uint64_t quota = base + extra;
+        threads.emplace_back(
+            [&opt, c, quota, out] { closed_loop_conn(opt, c, quota, out); });
+      }
     }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   const double elapsed_s = (si::obs::wall_ns() - t0) / 1e9;
 
   ConnResult total;
@@ -365,20 +716,24 @@ int main(int argc, char** argv) {
     total.failed += r.failed;
     total.rejected += r.rejected;
     total.lost += r.lost;
+    total.misrouted += r.misrouted;
     total.retries += r.retries;
     total.latency.merge(r.latency);
     io_error = io_error || r.io_error;
   }
 
-  std::printf("si_loadgen: mode=%s conns=%d elapsed=%.2fs\n",
-              opt.open_loop ? "open" : "closed", opt.conns, elapsed_s);
+  std::printf("si_loadgen: mode=%s proto=%s conns=%d pipeline=%d "
+              "elapsed=%.2fs\n",
+              opt.open_loop ? "open" : "closed", opt.bin ? "bin" : "text",
+              opt.conns, opt.bin ? opt.pipeline : 1, elapsed_s);
   std::printf("  sent=%llu completed=%llu rejected=%llu failed=%llu "
-              "lost=%llu retries=%llu\n",
+              "lost=%llu misrouted=%llu retries=%llu\n",
               static_cast<unsigned long long>(total.sent),
               static_cast<unsigned long long>(total.ok),
               static_cast<unsigned long long>(total.rejected),
               static_cast<unsigned long long>(total.failed),
               static_cast<unsigned long long>(total.lost),
+              static_cast<unsigned long long>(total.misrouted),
               static_cast<unsigned long long>(total.retries));
   std::printf("  goodput=%.0f req/s\n",
               elapsed_s > 0 ? static_cast<double>(total.ok) / elapsed_s : 0.0);
@@ -396,5 +751,32 @@ int main(int argc, char** argv) {
                                      static_cast<double>(total.sent)
                                : 0.0);
   }
-  return (total.lost == 0 && total.failed == 0 && !io_error) ? 0 : 1;
+
+  // Client-side si-bench-v1 record for the saturation sweep
+  // (scripts/serve_sweep.py): goodput is the throughput field, client
+  // latency percentiles ride in the req_latency_* fields.
+  si::bench::JsonSink sink = si::bench::JsonSink::from_cli(cli, "si_loadgen");
+  if (sink.enabled()) {
+    si::bench::BenchRecord rec;
+    rec.system = cli.get("system", opt.bin ? "serve-bin" : "serve-text");
+    rec.point = cli.get("point", "run");
+    rec.threads = opt.conns;
+    rec.throughput =
+        elapsed_s > 0 ? static_cast<double>(total.ok) / elapsed_s : 0.0;
+    rec.commits = total.ok;
+    if (total.latency.count() > 0) {
+      rec.req_latency_p50_ns =
+          static_cast<double>(total.latency.quantile(0.50));
+      rec.req_latency_p99_ns =
+          static_cast<double>(total.latency.quantile(0.99));
+      rec.req_latency_p999_ns =
+          static_cast<double>(total.latency.quantile(0.999));
+    }
+    sink.add(rec);
+    sink.flush();
+  }
+  return (total.lost == 0 && total.misrouted == 0 && total.failed == 0 &&
+          !io_error)
+             ? 0
+             : 1;
 }

@@ -1,16 +1,24 @@
 // si_serve — TCP front end for the sharded transactional serving layer
-// (src/serve, DESIGN.md section 9).
+// (src/serve, DESIGN.md sections 9 and 12).
 //
 //   si_serve -backend si-htm -workload hashmap -shards 2 -port 7070
 //   si_serve -backend silo -workload tpcc -shards 4 -port 0   # ephemeral
 //
-// A single poll(2)-based front-end thread accepts connections and parses
-// newline-delimited requests (serve/net.hpp wire format); accepted requests
-// go to the shard queues and are executed by the service's worker threads,
-// whose completion callbacks write the response line straight back to the
-// connection. Admission-control rejections are answered inline by the
-// front end with Status::kRejected and the retry hint, so overload sheds
-// at the socket instead of queueing.
+// Two front ends share the service:
+//
+//  * `-proto bin` (default): N epoll reactor threads (serve/reactor.hpp,
+//    `-reactors N`) with SO_REUSEPORT listeners speaking the length-prefixed
+//    binary protocol of serve/wire.hpp — clients pipeline many requests per
+//    connection, completions route back to the owning reactor over MPSC
+//    rings and flush with writev.
+//  * `-proto text`: the original single poll(2) thread speaking the
+//    newline-delimited text protocol (serve/net.hpp), kept for
+//    compatibility and as the baseline the saturation sweep compares
+//    against.
+//
+// Either way, admission-control rejections are answered inline by the front
+// end with Status::kRejected and the retry hint, so overload sheds at the
+// socket instead of queueing.
 //
 // Runs until SIGINT/SIGTERM, then drains in-flight requests and prints the
 // service counters plus request-latency percentiles. `-json FILE` also
@@ -24,9 +32,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -40,6 +50,7 @@
 #include "serve/kv_app.hpp"
 #include "serve/map_app.hpp"
 #include "serve/net.hpp"
+#include "serve/reactor.hpp"
 #include "serve/service.hpp"
 #include "serve/tpcc_app.hpp"
 #include "util/cli.hpp"
@@ -54,8 +65,10 @@ void usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [-backend si-htm|htm|p8tm|silo|raw-rot]\n"
                "          [-workload hashmap|map|tpcc] [-shards N] [-port P]\n"
+               "          [-proto bin|text] [-reactors N] [-max-outbuf BYTES]\n"
                "          [-queue-cap N] [-watermark N] [-batch N]\n"
                "          [-adaptive] [-target-p99-us N] [-aimd-epoch-us N]\n"
+               "          [-aimd-wakeup-cut N] [-adaptive-retries]\n"
                "          [-buckets N] [-elements N] [-warehouses N]\n"
                "          [-struct skiplist|bst|btree] [-scan-cap N]\n"
                "          [-json FILE]\n",
@@ -297,26 +310,12 @@ void serve_loop(ServiceT& service, int listen_fd, FrontEndStats* stats) {
   while (!conns.empty()) drop_conn(conns.size() - 1);
 }
 
+/// Post-run reporting shared by both front ends: service counters, latency
+/// percentiles, AIMD state and the optional si-bench-v1 JSON record.
 template <typename ServiceT>
-int run_front_end(ServiceT& service, si::util::Cli& cli,
-                  si::obs::Metrics& metrics, const std::string& backend_name) {
-  std::string err;
-  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7070));
-  const int listen_fd = si::serve::net::listen_tcp(port, &err);
-  if (listen_fd < 0) {
-    std::fprintf(stderr, "si_serve: %s\n", err.c_str());
-    return 2;
-  }
-  std::printf("si_serve: listening on 127.0.0.1:%u (%s, %d shards)\n",
-              si::serve::net::local_port(listen_fd), backend_name.c_str(),
-              service.shards());
-  std::fflush(stdout);
-
-  FrontEndStats fes;
-  serve_loop(service, listen_fd, &fes);  // drains + flushes before returning
-  ::close(listen_fd);
-  service.stop();  // idempotent; serve_loop already stopped and drained
-
+int report_run(ServiceT& service, si::util::Cli& cli,
+               si::obs::Metrics& metrics, const std::string& backend_name,
+               const FrontEndStats& fes) {
   const auto c = service.counters();
   const auto snap = metrics.snapshot();
   std::printf("si_serve: conns=%llu parsed=%llu parse-errors=%llu\n",
@@ -367,6 +366,8 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
           static_cast<double>(snap.request_latency_p50_ns());
       rec.req_latency_p99_ns =
           static_cast<double>(snap.request_latency_p99_ns());
+      rec.req_latency_p999_ns =
+          static_cast<double>(snap.request_latency.quantile(0.999));
     }
     rec.sgl_sleep_wakeups =
         static_cast<std::int64_t>(rs.totals.sgl_sleep_wakeups);
@@ -380,6 +381,99 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
     sink.flush();
   }
   return c.failed == 0 ? 0 : 1;
+}
+
+/// `-proto text`: the original single poll(2) thread (the baseline the
+/// saturation sweep compares the reactors against).
+template <typename ServiceT>
+int run_text_front_end(ServiceT& service, si::util::Cli& cli,
+                       si::obs::Metrics& metrics,
+                       const std::string& backend_name) {
+  std::string err;
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7070));
+  const int listen_fd = si::serve::net::listen_tcp(port, &err);
+  if (listen_fd < 0) {
+    std::fprintf(stderr, "si_serve: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("si_serve: listening on 127.0.0.1:%u (%s, %d shards, text)\n",
+              si::serve::net::local_port(listen_fd), backend_name.c_str(),
+              service.shards());
+  std::fflush(stdout);
+
+  FrontEndStats fes;
+  serve_loop(service, listen_fd, &fes);  // drains + flushes before returning
+  ::close(listen_fd);
+  service.stop();  // idempotent; serve_loop already stopped and drained
+  return report_run(service, cli, metrics, backend_name, fes);
+}
+
+/// `-proto bin` (default): the multi-reactor epoll front end.
+template <typename ServiceT>
+int run_reactor_front_end(ServiceT& service, si::util::Cli& cli,
+                          si::obs::Metrics& metrics,
+                          const std::string& backend_name) {
+  si::serve::ReactorConfig rcfg;
+  rcfg.reactors = static_cast<int>(cli.get_int("reactors", 2));
+  rcfg.port = static_cast<std::uint16_t>(cli.get_int("port", 7070));
+  rcfg.max_outbuf = static_cast<std::size_t>(
+      cli.get_int("max-outbuf", 4 * 1024 * 1024));
+  si::obs::Metrics reactor_metrics(rcfg.reactors < 1 ? 1 : rcfg.reactors);
+  rcfg.metrics = &reactor_metrics;
+
+  si::serve::ReactorPool<ServiceT> pool(service, rcfg);
+  std::string err;
+  if (!pool.start(&err)) {
+    std::fprintf(stderr, "si_serve: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf(
+      "si_serve: listening on 127.0.0.1:%u (%s, %d shards, bin, "
+      "%d reactors)\n",
+      pool.port(), backend_name.c_str(), service.shards(), pool.reactors());
+  std::fflush(stdout);
+
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Three-phase drain (serve/reactor.hpp): quiesce reads, drain the service,
+  // flush what is left and tear the reactors down.
+  pool.drain_begin();
+  service.stop();
+  pool.finish();
+
+  const auto rs = pool.stats();
+  const auto rsnap = reactor_metrics.snapshot();
+  std::printf(
+      "si_serve: reactors completions=%llu wakeups=%llu flushes=%llu "
+      "batch-p50=%llu flush-bytes-p50=%llu overflow-drops=%llu\n",
+      static_cast<unsigned long long>(rs.completions),
+      static_cast<unsigned long long>(rs.wakeups),
+      static_cast<unsigned long long>(rs.flushes),
+      static_cast<unsigned long long>(rsnap.reactor_batch.quantile(0.50)),
+      static_cast<unsigned long long>(
+          rsnap.reactor_flush_bytes.quantile(0.50)),
+      static_cast<unsigned long long>(rs.overflow_drops));
+
+  FrontEndStats fes;
+  fes.conns_accepted = rs.conns_accepted;
+  fes.requests_parsed = rs.requests;
+  fes.parse_errors = rs.parse_errors;
+  return report_run(service, cli, metrics, backend_name, fes);
+}
+
+template <typename ServiceT>
+int run_front_end(ServiceT& service, si::util::Cli& cli,
+                  si::obs::Metrics& metrics, const std::string& backend_name) {
+  const std::string proto = cli.get("proto", "bin");
+  if (proto == "text") {
+    return run_text_front_end(service, cli, metrics, backend_name);
+  }
+  if (proto != "bin") {
+    std::fprintf(stderr, "unknown protocol: %s\n", proto.c_str());
+    return 2;
+  }
+  return run_reactor_front_end(service, cli, metrics, backend_name);
 }
 
 }  // namespace
@@ -417,7 +511,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("target-p99-us", 1000)) * 1000;
   scfg.aimd.epoch_us =
       static_cast<std::uint32_t>(cli.get_int("aimd-epoch-us", 5000));
+  scfg.aimd.wakeup_cut_per_epoch =
+      static_cast<std::uint64_t>(cli.get_int("aimd-wakeup-cut", 0));
   scfg.runtime.max_threads = scfg.shards;
+  scfg.runtime.retry_budget.enabled = cli.has("adaptive-retries");
 
   si::obs::Metrics metrics(scfg.shards);
   scfg.runtime.obs.metrics = &metrics;
