@@ -53,6 +53,8 @@ class HtmSgl {
     core_.execute(is_ro, std::forward<Body>(body));
   }
 
+  const HtmSglConfig& config() const noexcept { return cfg_; }
+
   std::vector<si::util::ThreadStats>& thread_stats() {
     return sub_.thread_stats();
   }

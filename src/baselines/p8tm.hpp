@@ -46,6 +46,8 @@ class P8tm {
     core_.execute(is_ro, std::forward<Body>(body));
   }
 
+  const P8tmConfig& config() const noexcept { return cfg_; }
+
   std::vector<si::util::ThreadStats>& thread_stats() {
     return sub_.thread_stats();
   }

@@ -49,6 +49,8 @@ class RawRot {
     core_.execute(is_ro, std::forward<Body>(body));
   }
 
+  const RawRotConfig& config() const noexcept { return cfg_; }
+
   std::vector<si::util::ThreadStats>& thread_stats() {
     return sub_.thread_stats();
   }

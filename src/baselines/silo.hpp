@@ -46,6 +46,8 @@ class Silo {
     core_.execute(is_ro, std::forward<Body>(body));
   }
 
+  const SiloConfig& config() const noexcept { return cfg_; }
+
   std::vector<si::util::ThreadStats>& thread_stats() {
     return sub_.thread_stats();
   }

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/taxonomy.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
@@ -245,6 +246,12 @@ struct TraceSummary {
                          static_cast<int>(si::util::AbortCause::kCauseCount_)>>
       abort_timeline;
   std::vector<ThreadUtilisation> threads;
+  /// Abort taxonomy derived from the trace stream, indexed by
+  /// TaxonomyCounter — the same breakdown the live /metrics endpoint
+  /// exports, so offline traces and live scrapes diff cleanly. Only the
+  /// trace-derivable counters populate: shared-ro-admit and retry-clamp are
+  /// metrics-only hooks (they emit no trace event by design) and stay 0.
+  std::array<std::uint64_t, kTaxonomyCounters> taxonomy{};
 };
 
 inline TraceSummary summarize_trace(const Tracer& tracer, int top_n = 10) {
@@ -287,6 +294,17 @@ inline TraceSummary summarize_trace(const Tracer& tracer, int top_n = 10) {
           if (tx_begin >= 0) u.tx_ns += r.ts_ns - tx_begin;
           tx_begin = -1.0;
           aborts.push_back({r.ts_ns, r.arg});
+          if (r.arg <
+              static_cast<std::uint32_t>(si::util::AbortCause::kCauseCount_)) {
+            ++s.taxonomy[static_cast<int>(
+                taxonomy_of(static_cast<si::util::AbortCause>(r.arg)))];
+          }
+          break;
+        case TraceEventKind::kSglAcquire:
+          ++s.taxonomy[static_cast<int>(TaxonomyCounter::kSglFallback)];
+          break;
+        case TraceEventKind::kHwKill:
+          ++s.taxonomy[static_cast<int>(TaxonomyCounter::kHwKillInit)];
           break;
         case TraceEventKind::kSafetyWaitEnter:
           open_wait = {tid, r.epoch, r.ts_ns, 0.0, r.arg};
@@ -358,6 +376,18 @@ inline void print_summary(std::ostream& os, const TraceSummary& s) {
                   wsp.tid, static_cast<unsigned long long>(wsp.epoch),
                   wsp.start_ns, wsp.dur_ns, wsp.stragglers);
     os << line;
+  }
+
+  // Same labels as the live endpoint's si_tx_aborts_total family, so a
+  // post-hoc trace summary lines up column-for-column with a scrape.
+  std::uint64_t taxonomy_total = 0;
+  for (const std::uint64_t n : s.taxonomy) taxonomy_total += n;
+  os << "\nabort taxonomy (live-endpoint labels):\n";
+  if (taxonomy_total == 0) os << "  (no aborts or fall-backs recorded)\n";
+  for (int i = 0; i < kTaxonomyCounters; ++i) {
+    if (s.taxonomy[i] == 0) continue;
+    os << "  " << to_string(static_cast<TaxonomyCounter>(i)) << ": "
+       << s.taxonomy[i] << '\n';
   }
 
   os << "\nabort-cause timeline (" << TraceSummary::kTimelineBuckets

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/taxonomy.hpp"
 #include "util/histogram.hpp"
 
 namespace si::obs {
@@ -31,6 +32,7 @@ struct MetricsSnapshot {
   si::util::Histogram queue_depth;     ///< serve: shard depth at each dequeue
   si::util::Histogram reactor_batch;   ///< serve: completions coalesced per wakeup
   si::util::Histogram reactor_flush_bytes;  ///< serve: bytes per writev flush
+  Taxonomy taxonomy;                   ///< abort / fall-back event counters
 
   std::uint64_t safety_wait_p50_ns() const noexcept {
     return safety_wait.quantile(0.50);
@@ -38,15 +40,22 @@ struct MetricsSnapshot {
   std::uint64_t safety_wait_p99_ns() const noexcept {
     return safety_wait.quantile(0.99);
   }
+  std::uint64_t safety_wait_p999_ns() const noexcept {
+    return safety_wait.quantile(0.999);
+  }
   std::uint64_t request_latency_p50_ns() const noexcept {
     return request_latency.quantile(0.50);
   }
   std::uint64_t request_latency_p99_ns() const noexcept {
     return request_latency.quantile(0.99);
   }
+  std::uint64_t request_latency_p999_ns() const noexcept {
+    return request_latency.quantile(0.999);
+  }
 };
 
-/// One thread's histograms; padded so neighbours never share a line.
+/// One thread's histograms and taxonomy counters; padded so neighbours never
+/// share a line.
 struct alignas(128) ThreadMetrics {
   si::util::Histogram safety_wait;
   si::util::Histogram commit_latency;
@@ -56,6 +65,7 @@ struct alignas(128) ThreadMetrics {
   si::util::Histogram queue_depth;
   si::util::Histogram reactor_batch;
   si::util::Histogram reactor_flush_bytes;
+  Taxonomy taxonomy;
 };
 
 class Metrics {
@@ -87,6 +97,7 @@ class Metrics {
       s.queue_depth.merge(t.queue_depth);
       s.reactor_batch.merge(t.reactor_batch);
       s.reactor_flush_bytes.merge(t.reactor_flush_bytes);
+      s.taxonomy.merge(t.taxonomy);
     }
     return s;
   }

@@ -61,6 +61,7 @@ struct ObsConfig {
       tracer->emit(tid, TraceEventKind::kAbort, now,
                    static_cast<std::uint32_t>(cause));
     }
+    if (metrics) metrics->of(tid).taxonomy.bump(taxonomy_of(cause));
   }
 
   // --- suspended publish window ---------------------------------------------
@@ -122,6 +123,9 @@ struct ObsConfig {
 
   void sgl_acquire(int tid, double now) const noexcept {
     if (tracer) tracer->emit(tid, TraceEventKind::kSglAcquire, now);
+    if (metrics) {
+      metrics->of(tid).taxonomy.bump(TaxonomyCounter::kSglFallback);
+    }
   }
 
   void sgl_drain_done(int tid, double now) const noexcept {
@@ -143,6 +147,28 @@ struct ObsConfig {
   /// `acquire_ns` is the matching sgl_acquire timestamp.
   void sgl_release(int tid, double now, double acquire_ns) const noexcept {
     if (metrics) metrics->of(tid).sgl_hold.record(delta_ns(acquire_ns, now));
+  }
+
+  // --- adaptation events (metrics-only) ---------------------------------------
+  //
+  // These two deliberately emit no trace event: they are taxonomy counters
+  // for the live endpoint, and keeping them out of the trace keeps the
+  // checked-in trace schema and the golden sim traces byte-stable.
+
+  /// A read-only transaction was admitted in SGL shared mode during a drain
+  /// instead of waiting for the lock (DESIGN.md section 11).
+  void ro_shared_admit(int tid) const noexcept {
+    if (metrics) {
+      metrics->of(tid).taxonomy.bump(TaxonomyCounter::kSharedRoAdmit);
+    }
+  }
+
+  /// The contention-aware retry budget granted fewer attempts than the
+  /// configured maximum for this transaction (protocol/retry_budget.hpp).
+  void retry_clamp(int tid) const noexcept {
+    if (metrics) {
+      metrics->of(tid).taxonomy.bump(TaxonomyCounter::kRetryClamp);
+    }
   }
 
  private:

@@ -197,6 +197,13 @@ void HtmRuntime::flag_kill(int victim_tid, AbortCause cause) {
     tracer_->emit(thread_id(), si::obs::TraceEventKind::kHwKill,
                   si::obs::wall_ns(), static_cast<std::uint32_t>(victim_tid));
   }
+  if (won && metrics_) {
+    const int killer = thread_id();
+    if (killer >= 0 && killer < metrics_->threads()) {
+      metrics_->of(killer).taxonomy.bump(
+          si::obs::TaxonomyCounter::kHwKillInit);
+    }
+  }
 }
 
 void HtmRuntime::maybe_help_doomed(int victim_tid) {

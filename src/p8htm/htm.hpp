@@ -47,6 +47,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
@@ -217,6 +218,14 @@ class HtmRuntime {
   /// threads start transacting; the pointer is read unsynchronised.
   void set_tracer(si::obs::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Attaches the metrics sink (obs/metrics.hpp) or detaches with nullptr.
+  /// The runtime bumps the killer-side hw-kill-initiated taxonomy counter
+  /// when a kill actually sets the victim's flag — the victim-side abort
+  /// counters come later via ObsConfig::tx_abort. Same discipline as the
+  /// tracer: set before threads transact, read unsynchronised, bumps land
+  /// in the *calling* thread's padded slot.
+  void set_metrics(si::obs::Metrics* metrics) noexcept { metrics_ = metrics; }
+
   const HtmConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -295,6 +304,7 @@ class HtmRuntime {
   std::unique_ptr<TxDesc[]> descs_;
   std::unique_ptr<CoreTmcam[]> tmcam_;
   si::obs::Tracer* tracer_ = nullptr;
+  si::obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace si::p8

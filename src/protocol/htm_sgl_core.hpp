@@ -79,6 +79,9 @@ class HtmSglCore {
     const int retry_budget = cfg_.retry_budget.enabled
                                  ? budgets_[tid].budget(cfg_.retry_budget)
                                  : cfg_.retries;
+    if (cfg_.retry_budget.enabled && retry_budget < cfg_.retry_budget.max_retries) {
+      if (const auto* o = sub_.obs()) o->retry_clamp(tid);
+    }
     for (int attempt = 0; attempt < retry_budget; ++attempt) {
       // Don't waste an attempt on a held SGL: sleep (slim lock) until free.
       sub_.gl_wait_unlocked(st);

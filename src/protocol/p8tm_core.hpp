@@ -135,6 +135,9 @@ class P8tmCore {
     const int retry_budget = cfg_.retry_budget.enabled
                                  ? budgets_[tid].budget(cfg_.retry_budget)
                                  : cfg_.retries;
+    if (cfg_.retry_budget.enabled && retry_budget < cfg_.retry_budget.max_retries) {
+      if (const auto* o = sub_.obs()) o->retry_clamp(tid);
+    }
     for (int attempt = 0; attempt < retry_budget; ++attempt) {
       sync_with_gl(st);
       Log& log = log_of(tid);

@@ -71,8 +71,10 @@ class RealSubstrate {
         stats_(static_cast<std::size_t>(cfg.max_threads)) {
     assert(cfg.max_threads <= si::p8::kMaxThreads);
     // The emulation emits its own hw-rollback / hw-kill trace events at the
-    // instant they happen (the cores only observe them later, as TxAbort).
+    // instant they happen (the cores only observe them later, as TxAbort),
+    // and bumps the killer-side hw-kill-initiated taxonomy counter.
     rt_.set_tracer(cfg_.obs.tracer);
+    rt_.set_metrics(cfg_.obs.metrics);
   }
 
   /// Binds the calling thread to slot `tid` of the state array.

@@ -106,6 +106,9 @@ class SiHtmCore {
       if constexpr (SafetyWait) {
         shared = ro_sync_with_gl(st);  // announces an active timestamp
       }
+      if (shared) {
+        if (const auto* o = sub_.obs()) o->ro_shared_admit(tid);
+      }
       rec_begin(tid, /*ro=*/true);
       const double ot0 = obs_begin(tid, /*ro=*/true);
       Tx tx(sub_, TxPath::kReadOnly);
@@ -129,6 +132,9 @@ class SiHtmCore {
     const int retry_budget = cfg_.retry_budget.enabled
                                  ? budgets_[tid].budget(cfg_.retry_budget)
                                  : cfg_.retries;
+    if (cfg_.retry_budget.enabled && retry_budget < cfg_.retry_budget.max_retries) {
+      if (const auto* o = sub_.obs()) o->retry_clamp(tid);
+    }
     for (int attempt = 0; !SafetyWait || attempt < retry_budget; ++attempt) {
       if constexpr (SafetyWait) sync_with_gl(st);
       sub_.pre_begin(HwMode::kRot);

@@ -64,6 +64,7 @@ class SimSubstrate {
     // Mirror of RealSubstrate: the engine emits hw-rollback / hw-kill trace
     // events itself, so both substrates yield the same event taxonomy.
     eng_.set_tracer(cfg_.obs.tracer);
+    eng_.set_metrics(cfg_.obs.metrics);
   }
 
   // --- identity / bookkeeping ---------------------------------------------

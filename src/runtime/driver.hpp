@@ -15,15 +15,19 @@
 
 namespace si::runtime {
 
-/// Clears per-phase counters a backend keeps outside its ThreadStats. Today
-/// that is the HTM emulation's fast-path telemetry: without this, a warm-up
-/// phase's hits leak into the measured phase's hit rates. Backends without
-/// an htm() accessor (Silo, sim glue) are a no-op.
+/// Clears per-phase counters a backend keeps outside its ThreadStats: the
+/// HTM emulation's fast-path telemetry, and any attached obs metrics sink
+/// (latency histograms + abort taxonomy). Without this, a warm-up phase's
+/// hits and aborts leak into the measured phase. Backends without the
+/// respective accessor (Silo, sim glue) skip that piece.
 template <typename CC>
 void reset_phase_counters(CC& cc) {
   for (auto& st : cc.thread_stats()) st = si::util::ThreadStats{};
   if constexpr (requires { cc.htm().reset_fast_path_stats(); }) {
     cc.htm().reset_fast_path_stats();
+  }
+  if constexpr (requires { cc.config().obs.metrics; }) {
+    if (cc.config().obs.metrics != nullptr) cc.config().obs.metrics->reset();
   }
 }
 

@@ -51,7 +51,7 @@ struct RuntimeConfig {
 
 class Runtime {
  public:
-  explicit Runtime(const RuntimeConfig& cfg) : backend_(cfg.backend) {
+  explicit Runtime(const RuntimeConfig& cfg) : cfg_(cfg), backend_(cfg.backend) {
     switch (cfg.backend) {
       case Backend::kHtm:
         htm_ = std::make_unique<si::baselines::HtmSgl>(si::baselines::HtmSglConfig{
@@ -85,6 +85,10 @@ class Runtime {
   }
 
   Backend backend() const noexcept { return backend_; }
+
+  /// The configuration the runtime was built with. Phase hygiene: the
+  /// driver's reset_phase_counters() reaches the obs sinks through here.
+  const RuntimeConfig& config() const noexcept { return cfg_; }
 
   void register_thread(int tid) {
     if (htm_) htm_->register_thread(tid);
@@ -121,6 +125,7 @@ class Runtime {
   }
 
  private:
+  RuntimeConfig cfg_;
   Backend backend_;
   std::unique_ptr<si::baselines::HtmSgl> htm_;
   std::unique_ptr<si::sihtm::SiHtm> sihtm_;

@@ -1,0 +1,236 @@
+// Admin/observability HTTP endpoint for the serving tools (DESIGN.md §13).
+//
+// A deliberately tiny HTTP/1.0 server on its own thread, reusing the
+// loopback listener + non-blocking helpers from serve/net.hpp. It exists so
+// an operator (or curl, or tools/si_top, or a Prometheus scraper) can watch
+// a live si_serve without touching the data plane: the admin socket is a
+// separate listener, polled by a separate thread, and every handler reads
+// snapshot copies — a slow or stuck scraper can delay other scrapers, never
+// a request.
+//
+// Protocol subset: "GET <path> HTTP/1.x" requests, one response per
+// connection (Connection: close), no keep-alive, no bodies in requests.
+// Anything else gets 400/404/405. That is all a scrape loop needs, and it
+// keeps the parser small enough to audit.
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/net.hpp"
+
+namespace si::serve {
+
+class AdminServer {
+ public:
+  using Handler = std::function<std::string()>;
+
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral; see port()). Handlers must
+  /// be registered before start().
+  explicit AdminServer(std::uint16_t port) : want_port_(port) {}
+
+  ~AdminServer() { stop(); }
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `path` (exact match, e.g. "/metrics") to produce a body with
+  /// the given content type. The handler runs on the admin thread.
+  void handle(std::string path, std::string content_type, Handler fn) {
+    routes_.push_back(Route{std::move(path), std::move(content_type),
+                            std::move(fn)});
+  }
+
+  /// Binds and starts the admin thread. Returns false with `*err` set when
+  /// the listener cannot bind.
+  bool start(std::string* err) {
+    listen_fd_ = net::listen_tcp(want_port_, err);
+    if (listen_fd_ < 0) return false;
+    net::set_nonblocking(listen_fd_);
+    port_ = net::local_port(listen_fd_);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { loop(); });
+    return true;
+  }
+
+  /// The bound port (resolves port 0 after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  void stop() {
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false)) return;
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler fn;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::string in;    ///< request bytes until the blank line
+    std::string out;   ///< rendered response, drained by POLLOUT
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+
+  static constexpr std::size_t kMaxRequest = 4096;  ///< header cap per conn
+
+  void loop() {
+    std::vector<Conn> conns;
+    std::vector<pollfd> pfds;
+    while (running_.load(std::memory_order_acquire)) {
+      pfds.clear();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+      for (const Conn& c : conns) {
+        pfds.push_back({c.fd,
+                        static_cast<short>(c.responding ? POLLOUT : POLLIN),
+                        0});
+      }
+      // 100 ms tick bounds the stop() latency; scrapes are rare enough that
+      // the idle wake-up cost is noise.
+      const int rc = ::poll(pfds.data(), pfds.size(), 100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0) continue;
+
+      if ((pfds[0].revents & POLLIN) != 0) {
+        for (;;) {
+          const int fd = ::accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          net::set_nonblocking(fd);
+          Conn c;
+          c.fd = fd;
+          conns.push_back(std::move(c));
+        }
+      }
+
+      for (std::size_t i = 0; i < conns.size();) {
+        Conn& c = conns[i];
+        bool close_it = false;
+        // pfds entry may be stale for conns accepted this pass; just try the
+        // state the connection is in — the sockets are non-blocking.
+        if (!c.responding) {
+          close_it = !read_request(c);
+        }
+        if (!close_it && c.responding) {
+          close_it = !flush_response(c);
+        }
+        if (close_it) {
+          ::close(c.fd);
+          conns[i] = std::move(conns.back());
+          conns.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (Conn& c : conns) ::close(c.fd);
+  }
+
+  /// Pulls bytes until the header terminator; renders the response once a
+  /// full request line is in. Returns false when the conn should close.
+  bool read_request(Conn& c) {
+    char buf[1024];
+    for (;;) {
+      const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        if (c.in.size() > kMaxRequest) return false;
+        continue;
+      }
+      if (n == 0) return false;  // peer closed before a full request
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c.in.find("\r\n\r\n") == std::string::npos &&
+        c.in.find("\n\n") == std::string::npos) {
+      return true;  // keep reading
+    }
+    c.out = respond(c.in);
+    c.responding = true;
+    return true;
+  }
+
+  bool flush_response(Conn& c) {
+    while (c.sent < c.out.size()) {
+      const ssize_t n =
+          ::write(c.fd, c.out.data() + c.sent, c.out.size() - c.sent);
+      if (n > 0) {
+        c.sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return false;  // fully sent: close (Connection: close)
+  }
+
+  std::string respond(const std::string& request) const {
+    const std::size_t eol = request.find_first_of("\r\n");
+    const std::string line =
+        eol == std::string::npos ? request : request.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      return http_error(400, "bad request line");
+    }
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t q = path.find('?');
+    if (q != std::string::npos) path.resize(q);
+    if (method != "GET") return http_error(405, "GET only");
+    for (const Route& r : routes_) {
+      if (r.path == path) return http_ok(r.content_type, r.fn());
+    }
+    return http_error(404, "unknown path; try /metrics or /series");
+  }
+
+  static std::string http_ok(const std::string& content_type,
+                             const std::string& body) {
+    std::string out = "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+                      "\r\nContent-Length: " + std::to_string(body.size()) +
+                      "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+  }
+
+  static std::string http_error(int code, const std::string& msg) {
+    const char* reason = code == 404  ? "Not Found"
+                         : code == 405 ? "Method Not Allowed"
+                                       : "Bad Request";
+    const std::string body = msg + "\n";
+    return "HTTP/1.0 " + std::to_string(code) + " " + reason +
+           "\r\nContent-Type: text/plain\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" +
+           body;
+  }
+
+  std::uint16_t want_port_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::vector<Route> routes_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace si::serve

@@ -27,12 +27,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/aimd.hpp"
@@ -42,6 +45,12 @@
 #include "util/histogram.hpp"
 
 namespace si::serve {
+
+struct TelemetryConfig {
+  bool enabled = false;
+  std::uint32_t epoch_us = 250'000;  ///< tick period when AIMD is off
+  std::size_t ring = 256;            ///< epochs retained for /series
+};
 
 struct ServiceConfig {
   int shards = 2;                   ///< worker threads = backend tids 0..shards-1
@@ -57,6 +66,14 @@ struct ServiceConfig {
   /// and moves the watermark AIMD-style; if no Metrics sink was supplied the
   /// service instantiates a private one so the loop always has telemetry.
   AimdConfig aimd{};
+
+  /// Live time-series aggregation (obs/timeseries.hpp). When enabled the
+  /// epoch thread also diffs each tick's MetricsSnapshot into an EpochRecord
+  /// ring that the admin endpoint serves at /series. Shares the AIMD epoch
+  /// thread and tick when admission control is on (epoch_us is then ignored
+  /// in favour of aimd.epoch_us); runs its own cadence otherwise. Like AIMD,
+  /// enabling it forces a private Metrics sink if the caller supplied none.
+  TelemetryConfig telemetry{};
 
   /// Backend selection, history recording and obs sinks, forwarded verbatim.
   /// `runtime.max_threads` must be >= shards (it is raised if not).
@@ -95,12 +112,17 @@ class Service {
       queues_.push_back(std::make_unique<RequestQueue>(cfg_.queue_capacity,
                                                        cfg_.admit_watermark));
     }
+    if (cfg_.telemetry.enabled) {
+      series_ = std::make_unique<si::obs::TimeSeries>(cfg_.telemetry.ring);
+      aggregator_ = std::make_unique<si::obs::EpochAggregator>(series_.get());
+      start_ns_ = si::obs::wall_ns();
+    }
     workers_.reserve(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       workers_.emplace_back([this, s] { worker_loop(s); });
     }
-    if (cfg_.aimd.enabled) {
-      aimd_thread_ = std::thread([this] { aimd_loop(); });
+    if (cfg_.aimd.enabled || cfg_.telemetry.enabled) {
+      epoch_thread_ = std::thread([this] { epoch_loop(); });
     }
   }
 
@@ -180,10 +202,15 @@ class Service {
   void stop() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
-    if (aimd_thread_.joinable()) aimd_thread_.join();
+    if (epoch_thread_.joinable()) epoch_thread_.join();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
+    // Final drain epoch: the workers completed every accepted request before
+    // exiting, and no thread records into the metrics any more, so this
+    // record captures the tail exactly — after it, the sum of per-epoch
+    // completed deltas equals ServiceCounters.completed (zero drift).
+    if (aggregator_ != nullptr) push_epoch();
   }
 
   /// Last published controller state (zeros when AIMD is disabled). Exact
@@ -191,6 +218,32 @@ class Service {
   AimdState aimd_state() const {
     std::lock_guard<std::mutex> g(aimd_mu_);
     return aimd_state_;
+  }
+
+  /// The epoch time-series ring (null unless cfg.telemetry.enabled).
+  const si::obs::TimeSeries* timeseries() const noexcept {
+    return series_.get();
+  }
+
+  /// The metrics sink the backend records into (caller-supplied or the
+  /// service's private one); null when neither AIMD nor telemetry forced
+  /// one and the caller supplied none.
+  si::obs::Metrics* metrics() const noexcept {
+    return cfg_.runtime.obs.metrics;
+  }
+
+  /// Registers a provider for the front-end columns of each epoch record
+  /// (connections accepted, flushes, bytes out — cumulative totals). The
+  /// TCP front ends own those counters, so the service pulls them through
+  /// this hook each tick. Call any time; the epoch thread reads it under a
+  /// lock. Pass nullptr to detach (the reactor pool's stats die with it —
+  /// detach before tearing the pool down).
+  void set_front_end_stats(
+      std::function<void(std::uint64_t* conns, std::uint64_t* flushes,
+                         std::uint64_t* bytes_out)>
+          fn) {
+    std::lock_guard<std::mutex> g(fe_mu_);
+    fe_stats_ = std::move(fn);
   }
 
   ServiceCounters counters() const noexcept {
@@ -226,14 +279,18 @@ class Service {
     }
     if (cfg.aimd.epoch_us < 100) cfg.aimd.epoch_us = 100;
     if (cfg.aimd.min_watermark < 1) cfg.aimd.min_watermark = 1;
+    if (cfg.telemetry.epoch_us < 100) cfg.telemetry.epoch_us = 100;
+    if (cfg.telemetry.ring < 1) cfg.telemetry.ring = 1;
     return cfg;
   }
 
-  /// Creates a private Metrics sink when AIMD needs telemetry and the caller
-  /// supplied none. Runs in the ctor initializer list *before* rt_ so the
-  /// patched cfg_.runtime.obs reaches the backend.
+  /// Creates a private Metrics sink when the epoch thread (AIMD and/or the
+  /// time-series aggregator) needs telemetry and the caller supplied none.
+  /// Runs in the ctor initializer list *before* rt_ so the patched
+  /// cfg_.runtime.obs reaches the backend.
   std::unique_ptr<si::obs::Metrics> make_own_metrics() {
-    if (!cfg_.aimd.enabled || cfg_.runtime.obs.metrics != nullptr) {
+    const bool needed = cfg_.aimd.enabled || cfg_.telemetry.enabled;
+    if (!needed || cfg_.runtime.obs.metrics != nullptr) {
       return nullptr;
     }
     auto m = std::make_unique<si::obs::Metrics>(cfg_.runtime.max_threads);
@@ -254,17 +311,28 @@ class Service {
     return hint < floor_us ? floor_us : hint;
   }
 
-  /// AIMD epoch thread: diff the metrics histograms, let the controller
-  /// judge the epoch, fan the watermark out to every shard queue. Snapshot
-  /// reads race the recording workers by design (obs/metrics.hpp); the
-  /// saturating Histogram::subtract keeps a torn window non-negative.
-  void aimd_loop() {
+  /// Epoch thread: on each tick, diff the metrics histograms and (a) let the
+  /// AIMD controller judge the epoch and fan the watermark out to every
+  /// shard queue, (b) push an EpochRecord into the time-series ring —
+  /// whichever of the two is enabled. Snapshot reads race the recording
+  /// workers by design (obs/metrics.hpp); the saturating subtracts keep a
+  /// torn window non-negative. One thread serves both consumers so the
+  /// /series epochs line up with the controller's decisions.
+  void epoch_loop() {
     si::obs::Metrics* metrics = cfg_.runtime.obs.metrics;
-    AimdController ctl(cfg_.aimd, queues_[0]->capacity(),
-                       queues_[0]->watermark());
+    std::optional<AimdController> ctl;
+    if (cfg_.aimd.enabled) {
+      ctl.emplace(cfg_.aimd, queues_[0]->capacity(), queues_[0]->watermark());
+    }
     si::obs::MetricsSnapshot prev = metrics->snapshot();
-    std::uint64_t prev_wakeups = total_sgl_wakeups();
-    const auto epoch = std::chrono::microseconds(cfg_.aimd.epoch_us);
+    // The wakeup sum is an AIMD-only signal, and sampling it walks the
+    // backend's plain per-thread counters — don't touch it on the
+    // telemetry-only path.
+    std::uint64_t prev_wakeups = ctl ? total_sgl_wakeups() : 0;
+    // AIMD's tick wins when both are on: the controller's cadence is part of
+    // its control loop, and sharing it keeps one snapshot per epoch.
+    const auto epoch = std::chrono::microseconds(
+        cfg_.aimd.enabled ? cfg_.aimd.epoch_us : cfg_.telemetry.epoch_us);
     while (!stopping_.load(std::memory_order_acquire)) {
       // Sleep in slices so stop() never waits a full epoch on the join.
       auto left = epoch;
@@ -277,30 +345,61 @@ class Service {
       }
       if (stopping_.load(std::memory_order_acquire)) break;
       si::obs::MetricsSnapshot cur = metrics->snapshot();
-      si::util::Histogram lat = cur.request_latency;
-      lat.subtract(prev.request_latency);
-      si::util::Histogram ret = cur.retries;
-      ret.subtract(prev.retries);
-      // Third signal: this epoch's SGL futex wake-ups (serve/aimd.hpp).
-      const std::uint64_t cur_wakeups = total_sgl_wakeups();
-      const std::uint64_t wakeups_delta =
-          cur_wakeups >= prev_wakeups ? cur_wakeups - prev_wakeups : 0;
-      prev_wakeups = cur_wakeups;
-      const std::size_t wm = ctl.on_epoch(lat, ret, wakeups_delta);
-      for (auto& q : queues_) q->set_watermark(wm);
-      if (lat.count() > 0) {
-        std::uint64_t p50_us = ctl.state().last_p50_ns / 1000;
-        if (p50_us == 0) p50_us = 1;
-        observed_p50_us_.store(p50_us, std::memory_order_relaxed);
+      if (ctl) {
+        si::util::Histogram lat = cur.request_latency;
+        lat.subtract(prev.request_latency);
+        si::util::Histogram ret = cur.retries;
+        ret.subtract(prev.retries);
+        // Third signal: this epoch's SGL futex wake-ups (serve/aimd.hpp).
+        const std::uint64_t cur_wakeups = total_sgl_wakeups();
+        const std::uint64_t wakeups_delta =
+            cur_wakeups >= prev_wakeups ? cur_wakeups - prev_wakeups : 0;
+        prev_wakeups = cur_wakeups;
+        const std::size_t wm = ctl->on_epoch(lat, ret, wakeups_delta);
+        for (auto& q : queues_) q->set_watermark(wm);
+        if (lat.count() > 0) {
+          std::uint64_t p50_us = ctl->state().last_p50_ns / 1000;
+          if (p50_us == 0) p50_us = 1;
+          observed_p50_us_.store(p50_us, std::memory_order_relaxed);
+        }
+        {
+          std::lock_guard<std::mutex> g(aimd_mu_);
+          aimd_state_ = ctl->state();
+        }
       }
-      {
-        std::lock_guard<std::mutex> g(aimd_mu_);
-        aimd_state_ = ctl.state();
-      }
+      if (aggregator_ != nullptr) push_epoch(&cur);
       prev = cur;
     }
-    std::lock_guard<std::mutex> g(aimd_mu_);
-    aimd_state_ = ctl.state();
+    if (ctl) {
+      std::lock_guard<std::mutex> g(aimd_mu_);
+      aimd_state_ = ctl->state();
+    }
+  }
+
+  /// Samples the cumulative service counters and pushes one epoch record.
+  /// Called from the epoch thread, and once more from stop() after the
+  /// workers joined (the final drain record). `cur` avoids a re-snapshot
+  /// when the caller already took one; pass nullptr to snapshot here.
+  void push_epoch(const si::obs::MetricsSnapshot* cur = nullptr) {
+    si::obs::EpochExternals ext;
+    ext.now_s =
+        (si::obs::wall_ns() - start_ns_) / 1e9;
+    ext.completed = completed_.load(std::memory_order_relaxed);
+    ext.accepted = accepted_.load(std::memory_order_relaxed);
+    ext.rejected = rejected_busy_.load(std::memory_order_relaxed) +
+                   rejected_full_.load(std::memory_order_relaxed) +
+                   rejected_stopped_.load(std::memory_order_relaxed);
+    ext.failed = failed_.load(std::memory_order_relaxed);
+    ext.watermark = queues_[0]->watermark();
+    {
+      std::lock_guard<std::mutex> g(fe_mu_);
+      if (fe_stats_) fe_stats_(&ext.conns, &ext.flushes, &ext.bytes_out);
+    }
+    if (cur != nullptr) {
+      aggregator_->on_epoch(*cur, ext);
+    } else {
+      aggregator_->on_epoch(cfg_.runtime.obs.metrics->snapshot(), ext);
+    }
   }
 
   /// Sum of the SGL sleep wake-ups over the worker tids. Racy snapshot of
@@ -367,13 +466,19 @@ class Service {
   mutable std::mutex aimd_mu_;
   AimdState aimd_state_;  ///< guarded by aimd_mu_
   std::atomic<std::uint64_t> observed_p50_us_{0};
+  std::unique_ptr<si::obs::TimeSeries> series_;        ///< telemetry only
+  std::unique_ptr<si::obs::EpochAggregator> aggregator_;
+  double start_ns_ = 0.0;  ///< service birth, obs::wall_ns clock
+  mutable std::mutex fe_mu_;
+  std::function<void(std::uint64_t*, std::uint64_t*, std::uint64_t*)>
+      fe_stats_;  ///< guarded by fe_mu_
   alignas(128) std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_busy_{0};
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_stopped_{0};
   alignas(128) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
-  std::thread aimd_thread_;           ///< running only when cfg_.aimd.enabled
+  std::thread epoch_thread_;  ///< runs when AIMD and/or telemetry is enabled
   std::vector<std::thread> workers_;  ///< last member: joins before teardown
 };
 

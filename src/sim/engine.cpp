@@ -110,6 +110,13 @@ void SimEngine::flag_kill(int victim, AbortCause cause) {
     tracer_->emit(current_tid(), si::obs::TraceEventKind::kHwKill, clock_,
                   static_cast<std::uint32_t>(victim));
   }
+  if (metrics_) {
+    const int killer = current_tid();
+    if (killer >= 0 && killer < metrics_->threads()) {
+      metrics_->of(killer).taxonomy.bump(
+          si::obs::TaxonomyCounter::kHwKillInit);
+    }
+  }
 }
 
 void SimEngine::rollback(SimTxDesc& d, int tid) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p8htm/abort.hpp"
 #include "p8htm/line_table.hpp"
@@ -121,6 +122,11 @@ class SimEngine {
   /// emitted into the calling fiber's ring — so real and sim runs of the
   /// same workload produce the same event taxonomy.
   void set_tracer(si::obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attaches the metrics sink, mirroring HtmRuntime::set_metrics: the
+  /// killer-side hw-kill-initiated taxonomy counter bumps when a kill lands,
+  /// so the live taxonomy reads the same on the sim and real substrates.
+  void set_metrics(si::obs::Metrics* metrics) noexcept { metrics_ = metrics; }
 
   /// Runs `step(tid)` in a loop on every simulated thread until the virtual
   /// deadline, then drains in-flight work. Returns the aggregated stats with
@@ -230,6 +236,7 @@ class SimEngine {
   std::vector<LvdirState> lvdir_;
   std::vector<si::util::ThreadStats> stats_;
   si::obs::Tracer* tracer_ = nullptr;
+  si::obs::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace si::sim

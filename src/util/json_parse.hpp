@@ -1,0 +1,216 @@
+// Minimal recursive-descent JSON reader — the consuming half of
+// util/json.hpp's writer, just enough for tools/si_top to decode the admin
+// endpoint's /series dump (and for tests to round-trip the renderers)
+// without an external dependency.
+//
+// Supports the full JSON value grammar minus \uXXXX escapes (the emitters in
+// this repo never produce them; encountering one fails the parse). Numbers
+// are held as double — adequate for the series schema, whose counters stay
+// well under 2^53 per run.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace si::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+  bool is_string() const noexcept { return type == Type::kString; }
+
+  /// Object member lookup; returns a shared null value when absent or when
+  /// this value is not an object, so chained access never throws.
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue null_value{};
+    if (type != Type::kObject) return null_value;
+    const auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+
+  double num_or(double fallback) const noexcept {
+    return type == Type::kNumber ? number : fallback;
+  }
+  std::uint64_t u64_or(std::uint64_t fallback) const noexcept {
+    return type == Type::kNumber ? static_cast<std::uint64_t>(number)
+                                 : fallback;
+  }
+};
+
+/// Parses `text` into `*out`. Returns false (with `*err` describing the
+/// position) on malformed input or trailing garbage.
+inline bool json_parse(const std::string& text, JsonValue* out,
+                       std::string* err = nullptr) {
+  struct Parser {
+    const char* p;
+    const char* end;
+    std::string* err;
+
+    bool fail(const char* what) {
+      if (err != nullptr) {
+        *err = std::string(what) + " at offset " +
+               std::to_string(static_cast<std::size_t>(p - start));
+      }
+      return false;
+    }
+    const char* start;
+
+    void skip_ws() {
+      while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+        ++p;
+      }
+    }
+
+    bool literal(const char* word, std::size_t n) {
+      if (static_cast<std::size_t>(end - p) < n) return false;
+      if (std::string(p, n) != word) return false;
+      p += n;
+      return true;
+    }
+
+    bool value(JsonValue* v) {
+      skip_ws();
+      if (p >= end) return fail("unexpected end");
+      switch (*p) {
+        case '{': return object(v);
+        case '[': return array(v);
+        case '"':
+          v->type = JsonValue::Type::kString;
+          return string(&v->string);
+        case 't':
+          if (!literal("true", 4)) return fail("bad literal");
+          v->type = JsonValue::Type::kBool;
+          v->boolean = true;
+          return true;
+        case 'f':
+          if (!literal("false", 5)) return fail("bad literal");
+          v->type = JsonValue::Type::kBool;
+          v->boolean = false;
+          return true;
+        case 'n':
+          if (!literal("null", 4)) return fail("bad literal");
+          v->type = JsonValue::Type::kNull;
+          return true;
+        default: return number(v);
+      }
+    }
+
+    bool number(JsonValue* v) {
+      char* after = nullptr;
+      const double d = std::strtod(p, &after);
+      if (after == p || after > end) return fail("bad number");
+      v->type = JsonValue::Type::kNumber;
+      v->number = d;
+      p = after;
+      return true;
+    }
+
+    bool string(std::string* s) {
+      ++p;  // opening quote
+      s->clear();
+      while (p < end && *p != '"') {
+        if (*p == '\\') {
+          ++p;
+          if (p >= end) return fail("bad escape");
+          switch (*p) {
+            case '"': s->push_back('"'); break;
+            case '\\': s->push_back('\\'); break;
+            case '/': s->push_back('/'); break;
+            case 'b': s->push_back('\b'); break;
+            case 'f': s->push_back('\f'); break;
+            case 'n': s->push_back('\n'); break;
+            case 'r': s->push_back('\r'); break;
+            case 't': s->push_back('\t'); break;
+            default: return fail("unsupported escape");
+          }
+          ++p;
+        } else {
+          s->push_back(*p++);
+        }
+      }
+      if (p >= end) return fail("unterminated string");
+      ++p;  // closing quote
+      return true;
+    }
+
+    bool object(JsonValue* v) {
+      v->type = JsonValue::Type::kObject;
+      ++p;  // '{'
+      skip_ws();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        if (p >= end || *p != '"') return fail("expected member key");
+        std::string key;
+        if (!string(&key)) return false;
+        skip_ws();
+        if (p >= end || *p != ':') return fail("expected ':'");
+        ++p;
+        JsonValue member;
+        if (!value(&member)) return false;
+        v->object.emplace(std::move(key), std::move(member));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+
+    bool array(JsonValue* v) {
+      v->type = JsonValue::Type::kArray;
+      ++p;  // '['
+      skip_ws();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      for (;;) {
+        JsonValue item;
+        if (!value(&item)) return false;
+        v->array.push_back(std::move(item));
+        skip_ws();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+  };
+
+  Parser parser{text.data(), text.data() + text.size(), err, text.data()};
+  *out = JsonValue{};
+  if (!parser.value(out)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end) return parser.fail("trailing garbage");
+  return true;
+}
+
+}  // namespace si::util

@@ -47,11 +47,13 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "runtime/runtime.hpp"
+#include "serve/admin.hpp"
 #include "serve/kv_app.hpp"
 #include "serve/map_app.hpp"
 #include "serve/net.hpp"
 #include "serve/reactor.hpp"
 #include "serve/service.hpp"
+#include "serve/telemetry.hpp"
 #include "serve/tpcc_app.hpp"
 #include "util/cli.hpp"
 
@@ -69,6 +71,7 @@ void usage(const char* prog) {
                "          [-queue-cap N] [-watermark N] [-batch N]\n"
                "          [-adaptive] [-target-p99-us N] [-aimd-epoch-us N]\n"
                "          [-aimd-wakeup-cut N] [-adaptive-retries]\n"
+               "          [-admin-port P] [-series-epoch-ms N] [-series-ring N]\n"
                "          [-buckets N] [-elements N] [-warehouses N]\n"
                "          [-struct skiplist|bst|btree] [-scan-cap N]\n"
                "          [-json FILE]\n",
@@ -176,6 +179,55 @@ struct FrontEndStats {
   std::uint64_t requests_parsed = 0;
   std::uint64_t parse_errors = 0;
 };
+
+/// Starts the admin/observability endpoint when `-admin-port` was given
+/// (DESIGN.md §13). Handlers run on the admin thread and read snapshot
+/// copies only, so a scrape never touches the data plane. `reactor_stats`
+/// (nullable) supplies the reactor pool's counters on the binary front end.
+template <typename ServiceT>
+std::unique_ptr<si::serve::AdminServer> start_admin(
+    ServiceT& service, si::util::Cli& cli, si::obs::Metrics& metrics,
+    const std::string& backend_name,
+    std::function<si::serve::ReactorStats()> reactor_stats) {
+  const long long port = cli.get_int("admin-port", -1);
+  if (port < 0) return nullptr;
+  auto admin =
+      std::make_unique<si::serve::AdminServer>(static_cast<std::uint16_t>(port));
+  const double t0 = si::obs::wall_ns();
+  auto scrape = [&service, &metrics, backend_name, reactor_stats,
+                 t0](bool prometheus) {
+    const si::obs::MetricsSnapshot snap = metrics.snapshot();
+    const si::serve::AimdState aimd = service.aimd_state();
+    si::serve::ReactorStats rstats;
+    si::serve::TelemetrySources src;
+    src.snap = &snap;
+    src.counters = service.counters();
+    if (service.config().aimd.enabled) src.aimd = &aimd;
+    src.series = service.timeseries();
+    if (reactor_stats) {
+      rstats = reactor_stats();
+      src.reactor = &rstats;
+    }
+    src.backend = backend_name;
+    src.shards = service.shards();
+    src.uptime_s = (si::obs::wall_ns() - t0) / 1e9;
+    return prometheus ? si::serve::render_prometheus(src)
+                      : si::serve::render_series_json(src);
+  };
+  admin->handle("/metrics", "text/plain; version=0.0.4",
+                [scrape] { return scrape(true); });
+  admin->handle("/series", "application/json",
+                [scrape] { return scrape(false); });
+  std::string err;
+  if (!admin->start(&err)) {
+    std::fprintf(stderr, "si_serve: admin endpoint: %s\n", err.c_str());
+    return nullptr;
+  }
+  std::printf("si_serve: admin endpoint on 127.0.0.1:%u (/metrics, /series)\n",
+              admin->port());
+  std::fflush(stdout);
+  return admin;
+}
 
 /// Poll loop: accept + read + submit until g_stop. Completions write from
 /// the worker threads concurrently.
@@ -331,12 +383,27 @@ int report_run(ServiceT& service, si::util::Cli& cli,
               static_cast<unsigned long long>(c.rejected_full),
               static_cast<unsigned long long>(c.rejected_stopped));
   if (snap.request_latency.count() > 0) {
-    std::printf("si_serve: request latency p50=%llu p99=%llu max=%llu ns "
-                "(queue depth p99=%llu)\n",
+    std::printf("si_serve: request latency p50=%llu p99=%llu p999=%llu "
+                "max=%llu ns (queue depth p99=%llu)\n",
                 static_cast<unsigned long long>(snap.request_latency_p50_ns()),
                 static_cast<unsigned long long>(snap.request_latency_p99_ns()),
+                static_cast<unsigned long long>(snap.request_latency_p999_ns()),
                 static_cast<unsigned long long>(snap.request_latency.max()),
                 static_cast<unsigned long long>(snap.queue_depth.quantile(0.99)));
+  }
+  if (snap.taxonomy.total_aborts() > 0 ||
+      snap.taxonomy.count(si::obs::TaxonomyCounter::kSglFallback) > 0) {
+    std::printf("si_serve: abort taxonomy:");
+    for (int i = 0; i < si::obs::kTaxonomyCounters; ++i) {
+      const auto tc = static_cast<si::obs::TaxonomyCounter>(i);
+      const std::uint64_t n = snap.taxonomy.count(tc);
+      if (n == 0) continue;
+      std::printf(" %.*s=%llu",
+                  static_cast<int>(si::obs::to_string(tc).size()),
+                  si::obs::to_string(tc).data(),
+                  static_cast<unsigned long long>(n));
+    }
+    std::printf("\n");
   }
   const auto aimd = service.aimd_state();
   if (service.config().aimd.enabled) {
@@ -367,7 +434,7 @@ int report_run(ServiceT& service, si::util::Cli& cli,
       rec.req_latency_p99_ns =
           static_cast<double>(snap.request_latency_p99_ns());
       rec.req_latency_p999_ns =
-          static_cast<double>(snap.request_latency.quantile(0.999));
+          static_cast<double>(snap.request_latency_p999_ns());
     }
     rec.sgl_sleep_wakeups =
         static_cast<std::int64_t>(rs.totals.sgl_sleep_wakeups);
@@ -401,10 +468,12 @@ int run_text_front_end(ServiceT& service, si::util::Cli& cli,
               service.shards());
   std::fflush(stdout);
 
+  auto admin = start_admin(service, cli, metrics, backend_name, nullptr);
   FrontEndStats fes;
   serve_loop(service, listen_fd, &fes);  // drains + flushes before returning
   ::close(listen_fd);
   service.stop();  // idempotent; serve_loop already stopped and drained
+  if (admin) admin->stop();  // after the drain, so a final scrape reconciles
   return report_run(service, cli, metrics, backend_name, fes);
 }
 
@@ -433,6 +502,20 @@ int run_reactor_front_end(ServiceT& service, si::util::Cli& cli,
       pool.port(), backend_name.c_str(), service.shards(), pool.reactors());
   std::fflush(stdout);
 
+  // The pool outlives service.stop() (three-phase drain below), so both the
+  // epoch thread's front-end columns and the admin scrapes may read its
+  // counters for the whole serving window.
+  service.set_front_end_stats([&pool](std::uint64_t* conns,
+                                      std::uint64_t* flushes,
+                                      std::uint64_t* bytes_out) {
+    const auto rs = pool.stats();
+    *conns = rs.conns_accepted;
+    *flushes = rs.flushes;
+    *bytes_out = rs.bytes_out;
+  });
+  auto admin = start_admin(service, cli, metrics, backend_name,
+                           [&pool] { return pool.stats(); });
+
   while (!g_stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
@@ -441,6 +524,8 @@ int run_reactor_front_end(ServiceT& service, si::util::Cli& cli,
   pool.drain_begin();
   service.stop();
   pool.finish();
+  if (admin) admin->stop();  // after the drain, so a final scrape reconciles
+  service.set_front_end_stats(nullptr);
 
   const auto rs = pool.stats();
   const auto rsnap = reactor_metrics.snapshot();
@@ -515,6 +600,15 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("aimd-wakeup-cut", 0));
   scfg.runtime.max_threads = scfg.shards;
   scfg.runtime.retry_budget.enabled = cli.has("adaptive-retries");
+  // The admin endpoint is useless without the epoch aggregator behind it, so
+  // -admin-port implies telemetry (and with it a private metrics sink).
+  if (cli.get_int("admin-port", -1) >= 0) {
+    scfg.telemetry.enabled = true;
+    scfg.telemetry.epoch_us =
+        static_cast<std::uint32_t>(cli.get_int("series-epoch-ms", 250)) * 1000;
+    scfg.telemetry.ring =
+        static_cast<std::size_t>(cli.get_int("series-ring", 256));
+  }
 
   si::obs::Metrics metrics(scfg.shards);
   scfg.runtime.obs.metrics = &metrics;

@@ -1,0 +1,237 @@
+// si_top — terminal dashboard for a live si_serve admin endpoint
+// (DESIGN.md §13).
+//
+//   si_top -port 7181                # attach, refresh once a second
+//   si_top -port 7181 -interval-ms 250
+//   si_top -port 7181 -once          # print one frame and exit (CI smoke)
+//
+// Polls GET /series (the si-series-v1 JSON dump rendered by
+// serve/telemetry.hpp) and redraws: service counters, a goodput sparkline
+// over the retained epoch ring, the most recent epochs as a table
+// (goodput, request-latency percentiles, queue depth, admission watermark)
+// and the abort-taxonomy mix summed over the visible window. Pure client:
+// serve/net.hpp for the socket, util/json_parse.hpp for the payload — no
+// dependency on the server's internals beyond the schema.
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "util/cli.hpp"
+#include "util/json_parse.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [-host H] [-port P] [-interval-ms N] [-once]\n"
+               "  attaches to si_serve's -admin-port endpoint and renders\n"
+               "  the /series time-series as a refreshing dashboard\n",
+               prog);
+}
+
+/// Blocking HTTP/1.0 GET; returns the body on a 200, false otherwise.
+bool http_get(const std::string& host, std::uint16_t port,
+              const std::string& path, std::string* body, std::string* err) {
+  const int fd = si::serve::net::connect_tcp(host, port, err);
+  if (fd < 0) return false;
+  const std::string req =
+      "GET " + path + " HTTP/1.0\r\nConnection: close\r\n\r\n";
+  if (!si::serve::net::send_all(fd, req.data(), req.size())) {
+    ::close(fd);
+    *err = "send failed";
+    return false;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      raw.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (Connection: close) or error; either way we have the bytes
+  }
+  ::close(fd);
+  const std::size_t hdr = raw.find("\r\n\r\n");
+  if (hdr == std::string::npos) {
+    *err = "malformed HTTP response";
+    return false;
+  }
+  const std::string status = raw.substr(0, raw.find("\r\n"));
+  if (status.find(" 200 ") == std::string::npos) {
+    *err = "server said: " + status;
+    return false;
+  }
+  *body = raw.substr(hdr + 4);
+  return true;
+}
+
+/// ASCII sparkline for the goodput column (low..high over the ring).
+std::string sparkline(const std::vector<double>& xs) {
+  static const char kRamp[] = " .:-=+*#%@";
+  double hi = 0.0;
+  for (const double x : xs) hi = std::max(hi, x);
+  std::string out;
+  for (const double x : xs) {
+    const int step =
+        hi <= 0.0 ? 0
+                  : static_cast<int>(x / hi * (sizeof(kRamp) - 2) + 0.5);
+    out.push_back(kRamp[std::clamp(step, 0, 9)]);
+  }
+  return out;
+}
+
+void render(const si::util::JsonValue& root, const std::string& target,
+            bool ansi) {
+  if (ansi) std::printf("\x1b[H\x1b[J");  // home + clear to end of screen
+
+  const auto& counters = root["counters"];
+  std::printf("si_top — %s   backend=%s shards=%llu uptime=%.1fs\n",
+              target.c_str(), root["backend"].string.c_str(),
+              static_cast<unsigned long long>(root["shards"].u64_or(0)),
+              root["uptime_s"].num_or(0.0));
+  std::printf(
+      "requests: accepted=%llu completed=%llu failed=%llu "
+      "rejected=%llu (busy=%llu full=%llu stopped=%llu)\n",
+      static_cast<unsigned long long>(counters["accepted"].u64_or(0)),
+      static_cast<unsigned long long>(counters["completed"].u64_or(0)),
+      static_cast<unsigned long long>(counters["failed"].u64_or(0)),
+      static_cast<unsigned long long>(counters["rejected_busy"].u64_or(0) +
+                                      counters["rejected_full"].u64_or(0) +
+                                      counters["rejected_stopped"].u64_or(0)),
+      static_cast<unsigned long long>(counters["rejected_busy"].u64_or(0)),
+      static_cast<unsigned long long>(counters["rejected_full"].u64_or(0)),
+      static_cast<unsigned long long>(counters["rejected_stopped"].u64_or(0)));
+  if (root["aimd"].is_object()) {
+    const auto& a = root["aimd"];
+    std::printf("aimd: watermark=%llu raises=%llu cuts=%llu last-p99=%.1fus\n",
+                static_cast<unsigned long long>(a["watermark"].u64_or(0)),
+                static_cast<unsigned long long>(a["raises"].u64_or(0)),
+                static_cast<unsigned long long>(a["cuts"].u64_or(0)),
+                a["last_p99_ns"].num_or(0.0) / 1e3);
+  }
+
+  const auto& epochs = root["epochs"].array;
+  if (epochs.empty()) {
+    std::printf("\n(no epochs yet — the first record lands after one "
+                "series epoch)\n");
+    return;
+  }
+
+  std::vector<double> goodput;
+  goodput.reserve(epochs.size());
+  for (const auto& e : epochs) goodput.push_back(e["goodput"].num_or(0.0));
+  std::printf("\ngoodput over %zu epochs  [%s]  peak=%.0f req/s\n",
+              epochs.size(), sparkline(goodput).c_str(),
+              *std::max_element(goodput.begin(), goodput.end()));
+
+  constexpr std::size_t kRows = 10;
+  const std::size_t first =
+      epochs.size() > kRows ? epochs.size() - kRows : 0;
+  std::printf("\n%6s %7s %10s %9s %9s %9s %6s %6s %6s\n", "epoch", "dt_s",
+              "req/s", "p50_us", "p99_us", "p999_us", "qd99", "wmark",
+              "conns");
+  for (std::size_t i = first; i < epochs.size(); ++i) {
+    const auto& e = epochs[i];
+    std::printf("%6llu %7.2f %10.0f %9.1f %9.1f %9.1f %6llu %6llu %6llu\n",
+                static_cast<unsigned long long>(e["seq"].u64_or(0)),
+                e["dt_s"].num_or(0.0), e["goodput"].num_or(0.0),
+                e["req_p50_ns"].num_or(0.0) / 1e3,
+                e["req_p99_ns"].num_or(0.0) / 1e3,
+                e["req_p999_ns"].num_or(0.0) / 1e3,
+                static_cast<unsigned long long>(
+                    e["queue_depth_p99"].u64_or(0)),
+                static_cast<unsigned long long>(e["watermark"].u64_or(0)),
+                static_cast<unsigned long long>(e["conns"].u64_or(0)));
+  }
+
+  // Abort mix over the whole visible ring, as labelled bars. The member
+  // names are obs::metric_name() strings; iterating the object keeps us
+  // schema-driven (a new cause shows up without a client change).
+  std::vector<std::pair<std::string, std::uint64_t>> mix;
+  for (const auto& e : epochs) {
+    for (const auto& [cause, v] : e["aborts"].object) {
+      auto it = std::find_if(mix.begin(), mix.end(),
+                             [&](const auto& m) { return m.first == cause; });
+      if (it == mix.end()) {
+        mix.emplace_back(cause, v.u64_or(0));
+      } else {
+        it->second += v.u64_or(0);
+      }
+    }
+  }
+  std::uint64_t peak = 0;
+  for (const auto& m : mix) peak = std::max(peak, m.second);
+  if (peak > 0) {
+    std::printf("\nabort mix (window total):\n");
+    for (const auto& [cause, n] : mix) {
+      if (n == 0) continue;
+      const int width = static_cast<int>(
+          static_cast<double>(n) / static_cast<double>(peak) * 30.0 + 0.5);
+      std::printf("  %-22s %8llu %s\n", cause.c_str(),
+                  static_cast<unsigned long long>(n),
+                  std::string(static_cast<std::size_t>(std::max(width, 1)),
+                              '#')
+                      .c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  si::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    usage(argv[0]);
+    return 0;
+  }
+  const std::string host = cli.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 7181));
+  const auto interval =
+      std::chrono::milliseconds(cli.get_int("interval-ms", 1000));
+  const bool once = cli.has("once");
+  const std::string target = host + ":" + std::to_string(port);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::string body;
+    std::string err;
+    if (!http_get(host, port, "/series", &body, &err)) {
+      std::fprintf(stderr, "si_top: %s: %s\n", target.c_str(), err.c_str());
+      if (once) return 1;
+      std::this_thread::sleep_for(interval);
+      continue;
+    }
+    si::util::JsonValue root;
+    if (!si::util::json_parse(body, &root, &err) || !root.is_object() ||
+        root["schema"].string != "si-series-v1") {
+      std::fprintf(stderr, "si_top: bad /series payload: %s\n", err.c_str());
+      if (once) return 1;
+      std::this_thread::sleep_for(interval);
+      continue;
+    }
+    render(root, target, /*ansi=*/!once);
+    if (once) return 0;
+    std::this_thread::sleep_for(interval);
+  }
+  if (!once) std::printf("\n");
+  return 0;
+}
