@@ -55,7 +55,19 @@ COUNTER_KEYS = ["accepted", "completed", "failed", "rejected_busy",
                 "rejected_full", "rejected_stopped"]
 EPOCH_KEYS = ["seq", "t_s", "dt_s", "completed", "accepted", "rejected",
               "failed", "goodput", "req_p50_ns", "req_p99_ns", "req_p999_ns",
-              "queue_depth_p99", "commits", "aborts", "watermark"]
+              "queue_depth_p99", "commits", "aborts", "watermark",
+              "log_appends", "log_bytes", "log_fsyncs", "durable_lsn"]
+
+# Families that must appear when the server runs with -durability on
+# (--require-durability, used by the crash-recovery smoke lane).
+DURABILITY_FAMILIES = [
+    "si_log_appends_total",
+    "si_log_bytes_total",
+    "si_log_flushes_total",
+    "si_log_fsyncs_total",
+    "si_log_durable_lsn",
+    "si_durable_ack_latency_ns",
+]
 
 
 def base_family(name):
@@ -66,7 +78,7 @@ def base_family(name):
     return name
 
 
-def check_metrics(text):
+def check_metrics(text, require_durability=False):
     errors = []
     helped, typed = {}, {}
     samples = {}  # family -> list of (labels, value)
@@ -158,6 +170,10 @@ def check_metrics(text):
                      "si_request_latency_ns", "si_uptime_seconds"):
         if required not in typed:
             errors.append(f"required family absent: {required}")
+    if require_durability:
+        for required in DURABILITY_FAMILIES:
+            if required not in typed:
+                errors.append(f"durability family absent: {required}")
     return errors
 
 
@@ -232,13 +248,17 @@ def main():
                     help="post-drain scrape: require exact zero-drift "
                          "reconciliation between the series totals and the "
                          "cumulative counters")
+    ap.add_argument("--require-durability", action="store_true",
+                    help="the scrape came from a -durability run: require "
+                         "the si_log_* families in --metrics")
     args = ap.parse_args()
     if not args.metrics and not args.series:
         ap.error("nothing to check: pass --metrics and/or --series")
 
     errors = []
     if args.metrics:
-        errors += check_metrics(args.metrics.read_text())
+        errors += check_metrics(args.metrics.read_text(),
+                                args.require_durability)
     if args.series:
         try:
             doc = json.loads(args.series.read_text())

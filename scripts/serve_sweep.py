@@ -20,10 +20,26 @@ Points are named c{conns}-d{depth} (connection count x pipeline depth);
 the record's `threads` field carries the connection count so --compare
 keys stay unique.
 
+Two optional axes (DESIGN.md §14):
+
+  --durability off,fsync   re-runs every system under each -durability
+                    mode (a fresh log dir per point). Non-off systems are
+                    suffixed `-fsync` etc., so the committed baseline's
+                    keys stay untouched and the durability cost reads off
+                    as column-vs-column at the same point.
+  --rates 20000,50000      an open-loop arrival-rate sweep (text protocol;
+                    the open loop is Poisson over -mode open, which the
+                    binary engine does not implement): fixed --open-conns
+                    connections, points named r{rate}. This is the axis
+                    that shows where ack-gating moves the saturation knee,
+                    since offered load does not adapt to service capacity.
+
 Usage:
     python3 scripts/serve_sweep.py --out BENCH_serve.json
     python3 scripts/serve_sweep.py --out smoke.json --quick
     python3 scripts/serve_sweep.py --out full.json --conns 8,64,512
+    python3 scripts/serve_sweep.py --out dur.json \
+        --durability off,buffered,fsync --rates 10000,30000,60000
 
 The server is restarted for every point so no point inherits another's
 admission-control state. Each run's exit code is checked: a loadgen
@@ -33,6 +49,7 @@ import argparse
 import json
 import os
 import re
+import shutil
 import signal
 import subprocess
 import sys
@@ -42,7 +59,7 @@ import time
 LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
 
 
-def start_server(args, proto, reactors):
+def start_server(args, proto, reactors, durability="off", log_dir=None):
     cmd = [
         args.serve,
         "-backend", args.backend,
@@ -54,6 +71,9 @@ def start_server(args, proto, reactors):
         "-buckets", str(args.buckets),
         "-elements", str(args.elements),
     ]
+    if durability != "off":
+        cmd += ["-durability", durability, "-log-dir", log_dir,
+                "-group-commit-us", str(args.group_commit_us)]
     proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
                             stderr=subprocess.STDOUT, text=True)
     deadline = time.time() + 10
@@ -84,25 +104,22 @@ def stop_server(proc):
         proc.stdout.read()
 
 
-def run_point(args, system, proto, reactors, conns, depth):
-    proc, port = start_server(args, proto, reactors)
-    point = f"c{conns}-d{depth}"
+def run_point(args, system, proto, reactors, durability, point, loadgen_args):
+    log_dir = None
+    if durability != "off":
+        log_dir = tempfile.mkdtemp(prefix="si-sweep-wal-")
+    proc, port = start_server(args, proto, reactors, durability, log_dir)
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
     cmd = [
         args.loadgen,
         "-port", str(port),
         "-proto", proto,
-        "-conns", str(conns),
-        "-requests", str(args.requests),
         "-keys", str(args.elements * 2),
         "-json", tmp_path,
         "-system", system,
         "-point", point,
-    ]
-    if proto == "bin":
-        cmd += ["-pipeline", str(depth),
-                "-client-threads", str(args.client_threads)]
+    ] + loadgen_args
     print(f"  {system} {point} ...", flush=True)
     try:
         rc = subprocess.run(cmd, timeout=args.timeout).returncode
@@ -115,7 +132,29 @@ def run_point(args, system, proto, reactors, conns, depth):
     finally:
         os.unlink(tmp_path)
         stop_server(proc)
+        if log_dir is not None:
+            shutil.rmtree(log_dir, ignore_errors=True)
     return doc
+
+
+def closed_point(args, system, proto, reactors, durability, conns, depth):
+    loadgen_args = ["-conns", str(conns), "-requests", str(args.requests)]
+    if proto == "bin":
+        loadgen_args += ["-pipeline", str(depth),
+                         "-client-threads", str(args.client_threads)]
+    return run_point(args, system, proto, reactors, durability,
+                     f"c{conns}-d{depth}", loadgen_args)
+
+
+def open_point(args, system, durability, rate):
+    # Open loop is text-protocol only: Poisson arrivals need the
+    # fire-and-forget sender, which the pipelined binary engine refuses
+    # (si_loadgen exits 2 on -proto bin -mode open).
+    loadgen_args = ["-mode", "open", "-conns", str(args.open_conns),
+                    "-rate", str(rate), "-duration-s", str(args.duration_s),
+                    "-ro", str(args.open_ro)]
+    return run_point(args, system, "text", 1, durability,
+                     f"r{rate}", loadgen_args)
 
 
 def main():
@@ -133,6 +172,21 @@ def main():
     ap.add_argument("--depth", type=int, default=8,
                     help="pipeline depth for the binary points")
     ap.add_argument("--client-threads", type=int, default=2)
+    ap.add_argument("--durability", default="off",
+                    help="comma-separated -durability modes to sweep "
+                         "(off,buffered,fsync,odirect); non-off modes "
+                         "suffix the system name")
+    ap.add_argument("--group-commit-us", type=int, default=200)
+    ap.add_argument("--rates", default="",
+                    help="comma-separated open-loop arrival rates (req/s); "
+                         "adds a serve-text-open system swept over -rate "
+                         "at --open-conns connections")
+    ap.add_argument("--open-conns", type=int, default=16,
+                    help="connection count for the open-loop rate points")
+    ap.add_argument("--open-ro", type=int, default=50,
+                    help="read percentage for the open-loop points")
+    ap.add_argument("--duration-s", type=float, default=5.0,
+                    help="send window per open-loop point, seconds")
     ap.add_argument("--timeout", type=int, default=600,
                     help="per-point loadgen timeout, seconds")
     ap.add_argument("--quick", action="store_true",
@@ -140,9 +194,16 @@ def main():
     args = ap.parse_args()
 
     conns_list = [int(c) for c in args.conns.split(",") if c]
+    rates_list = [int(r) for r in args.rates.split(",") if r]
+    modes = [m.strip() for m in args.durability.split(",") if m.strip()]
+    for mode in modes:
+        if mode not in ("off", "buffered", "fsync", "odirect"):
+            raise SystemExit(f"unknown durability mode: {mode}")
     if args.quick:
         args.requests = min(args.requests, 40000)
+        args.duration_s = min(args.duration_s, 2.0)
         conns_list = conns_list[:2]
+        rates_list = rates_list[:2]
 
     # (system, proto, reactors, pipeline depth); depth 1 for the text
     # protocol, which has no correlation ids and thus no pipelining.
@@ -154,14 +215,27 @@ def main():
 
     records = []
     provenance = None
-    for system, proto, reactors, depth in systems:
-        print(f"== {system} (proto={proto}, reactors={reactors}, "
-              f"depth={depth})", flush=True)
-        for conns in conns_list:
-            doc = run_point(args, system, proto, reactors, conns, depth)
-            if provenance is None:
-                provenance = doc.get("provenance", {})
-            records.extend(doc.get("records", []))
+
+    def collect(doc):
+        nonlocal provenance
+        if provenance is None:
+            provenance = doc.get("provenance", {})
+        records.extend(doc.get("records", []))
+
+    for mode in modes:
+        suffix = "" if mode == "off" else f"-{mode}"
+        for system, proto, reactors, depth in systems:
+            name = system + suffix
+            print(f"== {name} (proto={proto}, reactors={reactors}, "
+                  f"depth={depth}, durability={mode})", flush=True)
+            for conns in conns_list:
+                collect(closed_point(args, name, proto, reactors, mode,
+                                     conns, depth))
+        for rate in rates_list:
+            name = "serve-text-open" + suffix
+            print(f"== {name} r{rate} (open loop, durability={mode})",
+                  flush=True)
+            collect(open_point(args, name, mode, rate))
 
     out = {
         "schema": "si-bench-v1",

@@ -32,6 +32,7 @@ struct MetricsSnapshot {
   si::util::Histogram queue_depth;     ///< serve: shard depth at each dequeue
   si::util::Histogram reactor_batch;   ///< serve: completions coalesced per wakeup
   si::util::Histogram reactor_flush_bytes;  ///< serve: bytes per writev flush
+  si::util::Histogram durable_ack;     ///< serve: enqueue→durable-ack release, ns
   Taxonomy taxonomy;                   ///< abort / fall-back event counters
 
   std::uint64_t safety_wait_p50_ns() const noexcept {
@@ -65,6 +66,9 @@ struct alignas(128) ThreadMetrics {
   si::util::Histogram queue_depth;
   si::util::Histogram reactor_batch;
   si::util::Histogram reactor_flush_bytes;
+  /// Written by the group-commit daemon, not the owner thread — per-slot the
+  /// single-writer contract still holds (one daemon, disjoint histogram).
+  si::util::Histogram durable_ack;
   Taxonomy taxonomy;
 };
 
@@ -97,6 +101,7 @@ class Metrics {
       s.queue_depth.merge(t.queue_depth);
       s.reactor_batch.merge(t.reactor_batch);
       s.reactor_flush_bytes.merge(t.reactor_flush_bytes);
+      s.durable_ack.merge(t.durable_ack);
       s.taxonomy.merge(t.taxonomy);
     }
     return s;

@@ -38,6 +38,12 @@ struct EpochExternals {
   std::uint64_t conns = 0;          ///< front-end connections accepted (total)
   std::uint64_t flushes = 0;        ///< reactor writev flushes (total)
   std::uint64_t bytes_out = 0;      ///< reactor bytes written (total)
+
+  // Durability tier (zeros when -durability off; DESIGN.md §14).
+  std::uint64_t log_appends = 0;    ///< WAL records appended (total)
+  std::uint64_t log_bytes = 0;      ///< WAL record bytes appended (total)
+  std::uint64_t log_fsyncs = 0;     ///< group-commit fsync calls (total)
+  std::uint64_t durable_lsn = 0;    ///< sum of per-shard durable LSNs (gauge)
 };
 
 /// One epoch's view: counter deltas over the window plus gauges at its end.
@@ -64,6 +70,11 @@ struct EpochRecord {
   std::uint64_t conns = 0;      ///< front-end connections accepted so far
   std::uint64_t flushes = 0;    ///< reactor flushes this epoch
   std::uint64_t bytes_out = 0;  ///< reactor bytes written this epoch
+
+  std::uint64_t log_appends = 0;  ///< WAL records appended this epoch
+  std::uint64_t log_bytes = 0;    ///< WAL bytes appended this epoch
+  std::uint64_t log_fsyncs = 0;   ///< group-commit fsyncs this epoch
+  std::uint64_t durable_lsn = 0;  ///< durable-LSN sum at window end (gauge)
 };
 
 /// Fixed ring of the most recent epochs plus run-length totals. Guarded by a
@@ -172,6 +183,11 @@ class EpochAggregator {
     r.conns = ext.conns;
     r.flushes = delta(ext.flushes, prev_ext_.flushes);
     r.bytes_out = delta(ext.bytes_out, prev_ext_.bytes_out);
+
+    r.log_appends = delta(ext.log_appends, prev_ext_.log_appends);
+    r.log_bytes = delta(ext.log_bytes, prev_ext_.log_bytes);
+    r.log_fsyncs = delta(ext.log_fsyncs, prev_ext_.log_fsyncs);
+    r.durable_lsn = ext.durable_lsn;
 
     prev_ = cum;
     prev_ext_ = ext;

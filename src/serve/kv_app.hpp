@@ -93,6 +93,12 @@ class KvApp {
   /// to set Request::ro consistently).
   static bool is_ro(std::uint16_t op) noexcept { return op == kGet; }
 
+  /// True when a committed request of this opcode must reach the write-ahead
+  /// log before its ack may be released (durability tier, DESIGN.md §14).
+  static bool logged_op(std::uint16_t op) noexcept {
+    return op == kPut || op == kDel;
+  }
+
  private:
   struct PerShard {
     si::hashmap::Pool pool;

@@ -105,6 +105,12 @@ class MapApp : public MapOps {
     return op == kGet || op == kRange;
   }
 
+  /// Durability tier (DESIGN.md §14): puts and dels are logged; gets and
+  /// ranges leave no state behind to recover.
+  static bool logged_op(std::uint16_t op) noexcept {
+    return op == MapOps::kPut || op == MapOps::kDel;
+  }
+
   /// Order-sensitive digest of a scan result; clients re-derive it from a
   /// quiesced dump to check scans without shipping the hits over the wire.
   static std::uint64_t checksum(const si::maps::RangeEntry* hits,

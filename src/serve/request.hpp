@@ -28,6 +28,9 @@ struct Response {
   Status status = Status::kOk;
   std::uint64_t value = 0;   ///< app-defined result payload
   double latency_ns = 0.0;   ///< enqueue -> completion, server side
+  /// WAL sequence number when the request was logged (durability tier);
+  /// 0 for unlogged requests. Server-side only — not on the wire.
+  std::uint64_t lsn = 0;
 };
 
 /// Invoked on the shard worker after the request's transaction committed.

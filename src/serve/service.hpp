@@ -26,14 +26,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "durability/wal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +57,24 @@ struct TelemetryConfig {
   bool enabled = false;
   std::uint32_t epoch_us = 250'000;  ///< tick period when AIMD is off
   std::size_t ring = 256;            ///< epochs retained for /series
+};
+
+/// Durability tier (DESIGN.md section 14): per-shard write-ahead log plus
+/// the group-commit daemon that batches fsyncs and releases held acks.
+struct DurabilityConfig {
+  si::durability::DurabilityMode mode = si::durability::DurabilityMode::kOff;
+  std::string dir;  ///< log directory (required unless mode == kOff)
+  /// Group-commit tick: the daemon flushes every shard log and releases the
+  /// covered acks at least this often. The commit hook also rings the
+  /// daemon's doorbell every `batch` committed updates, so a saturated
+  /// shard never waits the full tick.
+  std::uint32_t group_commit_us = 200;
+  std::uint32_t batch = 64;          ///< early-flush doorbell threshold
+  std::size_t pending_ring = 8192;   ///< held-ack ring capacity per shard
+
+  bool enabled() const noexcept {
+    return mode != si::durability::DurabilityMode::kOff;
+  }
 };
 
 struct ServiceConfig {
@@ -75,9 +100,27 @@ struct ServiceConfig {
   /// enabling it forces a private Metrics sink if the caller supplied none.
   TelemetryConfig telemetry{};
 
+  /// Write-ahead logging + group commit; off by default (the service is a
+  /// cache until the knob is turned).
+  DurabilityConfig durability{};
+
   /// Backend selection, history recording and obs sinks, forwarded verbatim.
   /// `runtime.max_threads` must be >= shards (it is raised if not).
   si::runtime::RuntimeConfig runtime{};
+};
+
+/// Aggregated view over the per-shard logs (serve/telemetry.hpp renders it;
+/// all zeros when durability is off). Cumulative counters except the LSN
+/// sums and acks_held, which are point-in-time gauges.
+struct DurabilityStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t appended_lsn = 0;  ///< sum over shards
+  std::uint64_t durable_lsn = 0;   ///< sum over shards
+  std::uint64_t acks_held = 0;     ///< completions waiting for their fsync
 };
 
 struct ServiceCounters {
@@ -97,6 +140,16 @@ struct SubmitResult {
   bool accepted() const noexcept { return admit == Admit::kAccepted; }
 };
 
+/// Detects `static bool App::logged_op(std::uint16_t)` — the hook an app
+/// implements to opt its update opcodes into the WAL (DESIGN.md §14). Apps
+/// without it compile out the logging branch and refuse -durability.
+template <typename T, typename = void>
+struct HasLoggedOp : std::false_type {};
+template <typename T>
+struct HasLoggedOp<
+    T, std::void_t<decltype(T::logged_op(std::declval<std::uint16_t>()))>>
+    : std::true_type {};
+
 /// `App` must provide `execute(si::runtime::Runtime&, int tid,
 /// const Request&, Response&)`, thread-safe across distinct tids.
 template <typename App>
@@ -106,16 +159,21 @@ class Service {
       : cfg_(fixup(std::move(cfg))),
         app_(app),
         own_metrics_(make_own_metrics()),
+        commit_hook_installed_(install_commit_hook()),
         rt_(cfg_.runtime) {
     queues_.reserve(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
       queues_.push_back(std::make_unique<RequestQueue>(cfg_.queue_capacity,
                                                        cfg_.admit_watermark));
     }
+    if (cfg_.durability.enabled()) open_logs();
     if (cfg_.telemetry.enabled) {
       series_ = std::make_unique<si::obs::TimeSeries>(cfg_.telemetry.ring);
       aggregator_ = std::make_unique<si::obs::EpochAggregator>(series_.get());
       start_ns_ = si::obs::wall_ns();
+    }
+    if (cfg_.durability.enabled()) {
+      gc_thread_ = std::thread([this] { group_commit_loop(); });
     }
     workers_.reserve(static_cast<std::size_t>(cfg_.shards));
     for (int s = 0; s < cfg_.shards; ++s) {
@@ -198,13 +256,28 @@ class Service {
 
   /// Rejects further submissions (Admit::kStopped) and joins the workers
   /// after they drained every already-accepted request, so completed ==
-  /// accepted at return.
+  /// accepted at return. With durability on, the group-commit daemon then
+  /// performs one final flush + fsync of every shard's buffered log tail and
+  /// releases every held ack before it is joined — a clean SIGTERM drain is
+  /// always recoverable with zero replay loss, and every accepted request's
+  /// completion has fired by the time stop() returns (the TCP front ends
+  /// rely on that ordering: Service::stop() precedes reactor teardown).
   void stop() {
     bool expected = false;
     if (!stopping_.compare_exchange_strong(expected, true)) return;
     if (epoch_thread_.joinable()) epoch_thread_.join();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
+    }
+    if (gc_thread_.joinable()) {
+      // After the last worker exits no append can race the final flush; the
+      // daemon's exit path flushes and drains the held-ack queues.
+      {
+        std::lock_guard<std::mutex> g(gc_mu_);
+        gc_stop_ = true;
+      }
+      gc_cv_.notify_one();
+      gc_thread_.join();
     }
     // Final drain epoch: the workers completed every accepted request before
     // exiting, and no thread records into the metrics any more, so this
@@ -261,6 +334,40 @@ class Service {
     return queues_[static_cast<std::size_t>(shard)]->approx_depth();
   }
 
+  /// Highest LSN known durable on `shard` (0 with durability off). Any
+  /// completion whose Response::lsn is <= this value has stable storage
+  /// backing it — the group-commit latency test asserts callbacks only ever
+  /// observe durable_lsn(shard) >= resp.lsn.
+  std::uint64_t durable_lsn(int shard) const noexcept {
+    if (logs_.empty()) return 0;
+    return logs_[static_cast<std::size_t>(shard)]->durable_lsn();
+  }
+
+  /// Highest LSN appended on `shard` (0 with durability off).
+  std::uint64_t appended_lsn(int shard) const noexcept {
+    if (logs_.empty()) return 0;
+    return logs_[static_cast<std::size_t>(shard)]->appended_lsn();
+  }
+
+  /// Aggregated log-plane counters (all zeros with durability off). Racy
+  /// snapshot, same tolerance as the metrics histograms.
+  DurabilityStats durability_stats() const noexcept {
+    DurabilityStats d;
+    for (const auto& log : logs_) {
+      const si::durability::ShardLogStats s = log->stats();
+      d.appends += s.appends;
+      d.bytes += s.bytes;
+      d.flushes += s.flushes;
+      d.fsyncs += s.fsyncs;
+      d.io_errors += s.io_errors;
+      d.appended_lsn += s.appended_lsn;
+      d.durable_lsn += s.durable_lsn;
+    }
+    for (const auto& h : held_) d.acks_held += h->approx_depth();
+    d.acks_held += spill_depth_.load(std::memory_order_relaxed);
+    return d;
+  }
+
   int shard_of(std::uint64_t key) const noexcept {
     // splitmix64 finalizer: decorrelates adjacent keys from shard index.
     std::uint64_t h = key + 0x9e3779b97f4a7c15ULL;
@@ -281,6 +388,14 @@ class Service {
     if (cfg.aimd.min_watermark < 1) cfg.aimd.min_watermark = 1;
     if (cfg.telemetry.epoch_us < 100) cfg.telemetry.epoch_us = 100;
     if (cfg.telemetry.ring < 1) cfg.telemetry.ring = 1;
+    if (cfg.durability.group_commit_us < 50) cfg.durability.group_commit_us = 50;
+    if (cfg.durability.batch < 1) cfg.durability.batch = 1;
+    // The held-ack ring must absorb at least one full request ring's worth
+    // of completions between ticks, or workers would stall on their own
+    // drain during shutdown.
+    if (cfg.durability.pending_ring < cfg.queue_capacity) {
+      cfg.durability.pending_ring = cfg.queue_capacity;
+    }
     return cfg;
   }
 
@@ -395,6 +510,13 @@ class Service {
       std::lock_guard<std::mutex> g(fe_mu_);
       if (fe_stats_) fe_stats_(&ext.conns, &ext.flushes, &ext.bytes_out);
     }
+    if (!logs_.empty()) {
+      const DurabilityStats d = durability_stats();
+      ext.log_appends = d.appends;
+      ext.log_bytes = d.bytes;
+      ext.log_fsyncs = d.fsyncs;
+      ext.durable_lsn = d.durable_lsn;
+    }
     if (cur != nullptr) {
       aggregator_->on_epoch(*cur, ext);
     } else {
@@ -453,13 +575,158 @@ class Service {
     if (resp.status == Status::kFailed) {
       failed_.fetch_add(1, std::memory_order_relaxed);
     }
+    // Ack gating (DESIGN.md §14): a committed update is appended to the
+    // shard's WAL and its completion is parked until the group-commit daemon
+    // has made the covering LSN durable. Read-only ops, failed requests and
+    // -durability off keep the old immediate-ack path.
+    if constexpr (HasLoggedOp<App>::value) {
+      if (!logs_.empty() && resp.status == Status::kOk &&
+          App::logged_op(req.op)) {
+        resp.lsn = logs_[static_cast<std::size_t>(tid)]->append(
+            req.id, req.key, req.arg, req.op);
+        if (req.done != nullptr) hold_ack(tid, req, resp);
+        return;
+      }
+    }
     if (req.done != nullptr) req.done(req.ctx, resp);
+  }
+
+  /// Parks a completed-but-not-yet-durable response on the shard's held-ack
+  /// ring. The ring is sized to absorb a full tick's worth of completions;
+  /// if the daemon falls behind (fsync stall) the worker waits here, which
+  /// is the correct backpressure — it cannot ack and must not run ahead
+  /// unboundedly.
+  void hold_ack(int tid, const Request& req, const Response& resp) {
+    HeldAck ack;
+    ack.lsn = resp.lsn;
+    ack.enqueue_ns = req.enqueue_ns;
+    ack.resp = resp;
+    ack.done = req.done;
+    ack.ctx = req.ctx;
+    auto& ring = *held_[static_cast<std::size_t>(tid)];
+    while (ring.try_push(ack) != Admit::kAccepted) {
+      gc_cv_.notify_one();
+      std::this_thread::yield();
+    }
+  }
+
+  /// A completed response waiting for its covering fsync. Trivially
+  /// copyable so the MpscRing moves it by assignment, like Request.
+  struct HeldAck {
+    std::uint64_t lsn = 0;
+    double enqueue_ns = 0.0;
+    Response resp{};
+    CompletionFn done = nullptr;
+    void* ctx = nullptr;
+  };
+
+  /// Opens one ShardLog per shard (worker tid == shard index == log index).
+  /// Throws on an unopenable directory/file or a shard-layout mismatch —
+  /// serving without the log the operator asked for would silently ack
+  /// non-durable writes.
+  void open_logs() {
+    if constexpr (!HasLoggedOp<App>::value) {
+      throw std::invalid_argument(
+          "durability enabled but the app has no logged_op hook");
+    }
+    if (cfg_.durability.dir.empty()) {
+      throw std::invalid_argument("durability enabled but no log dir");
+    }
+    logs_.reserve(static_cast<std::size_t>(cfg_.shards));
+    held_.reserve(static_cast<std::size_t>(cfg_.shards));
+    for (int s = 0; s < cfg_.shards; ++s) {
+      auto log = std::make_unique<si::durability::ShardLog>();
+      std::string err;
+      if (!log->open(cfg_.durability.dir, static_cast<std::uint32_t>(s),
+                     static_cast<std::uint32_t>(cfg_.shards),
+                     cfg_.durability.mode, &err)) {
+        throw std::runtime_error("wal: " + err);
+      }
+      logs_.push_back(std::move(log));
+      held_.push_back(
+          std::make_unique<MpscRing<HeldAck>>(cfg_.durability.pending_ring));
+    }
+    spill_.resize(static_cast<std::size_t>(cfg_.shards));
+  }
+
+  /// Rings the group-commit doorbell every `durability.batch` committed
+  /// updates. Installed into cfg_.runtime before rt_ is constructed (the
+  /// runtime copies its config), so it runs in the initializer list like
+  /// make_own_metrics(). The hook fires on the shard worker right after the
+  /// backend's commit — for SI-HTM that is the far edge of the safety wait,
+  /// which is where a batched fsync piggybacks at zero added latency
+  /// (DESIGN.md §14).
+  bool install_commit_hook() {
+    if (!cfg_.durability.enabled()) return false;
+    cfg_.runtime.on_commit.fn = [](void* ctx, bool is_ro) {
+      if (is_ro) return;
+      auto* self = static_cast<Service*>(ctx);
+      const std::uint64_t n =
+          self->commits_since_flush_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n % self->cfg_.durability.batch == 0) self->gc_cv_.notify_one();
+    };
+    cfg_.runtime.on_commit.ctx = this;
+    return true;
+  }
+
+  /// Group-commit daemon: on every tick (or early doorbell) flush all shard
+  /// logs — one write + at most one fsync per shard per tick, amortised over
+  /// every commit in the window — then release the acks the new durable
+  /// LSNs cover. The exit path runs one final flush_and_release() after the
+  /// workers quiesced, so stop() drains with zero held acks and a clean,
+  /// fully-fsynced log tail.
+  void group_commit_loop() {
+    const auto tick = std::chrono::microseconds(cfg_.durability.group_commit_us);
+    std::unique_lock<std::mutex> lk(gc_mu_);
+    while (!gc_stop_) {
+      gc_cv_.wait_for(lk, tick);
+      lk.unlock();
+      commits_since_flush_.store(0, std::memory_order_relaxed);
+      flush_and_release();
+      lk.lock();
+    }
+    lk.unlock();
+    flush_and_release();
+  }
+
+  void flush_and_release() {
+    for (auto& log : logs_) log->flush();
+    std::size_t still_held = 0;
+    for (int s = 0; s < cfg_.shards; ++s) {
+      auto& ring = *held_[static_cast<std::size_t>(s)];
+      auto& spill = spill_[static_cast<std::size_t>(s)];
+      HeldAck buf[64];
+      std::size_t n;
+      while ((n = ring.pop_batch(buf, 64)) > 0) {
+        spill.insert(spill.end(), buf, buf + n);
+      }
+      const std::uint64_t durable =
+          logs_[static_cast<std::size_t>(s)]->durable_lsn();
+      const double now = si::obs::wall_ns();
+      si::obs::Metrics* metrics = cfg_.runtime.obs.metrics;
+      // Workers push in append order, so the spill deque is LSN-sorted per
+      // shard and the releasable prefix ends at the first LSN > durable.
+      while (!spill.empty() && spill.front().lsn <= durable) {
+        const HeldAck& ack = spill.front();
+        if (metrics != nullptr) {
+          const double d = now - ack.enqueue_ns;
+          metrics->of(s).durable_ack.record(
+              d > 0 ? static_cast<std::uint64_t>(d) : 0);
+        }
+        ack.done(ack.ctx, ack.resp);
+        spill.pop_front();
+      }
+      still_held += spill.size();
+    }
+    spill_depth_.store(still_held, std::memory_order_relaxed);
   }
 
   ServiceConfig cfg_;
   App& app_;
   /// Declared before rt_: make_own_metrics() patches cfg_.runtime.obs.
   std::unique_ptr<si::obs::Metrics> own_metrics_;
+  /// Declared before rt_: install_commit_hook() patches cfg_.runtime.
+  bool commit_hook_installed_ = false;
   si::runtime::Runtime rt_;
   std::vector<std::unique_ptr<RequestQueue>> queues_;
   std::atomic<bool> stopping_{false};
@@ -478,6 +745,17 @@ class Service {
   std::atomic<std::uint64_t> rejected_stopped_{0};
   alignas(128) std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  // Durability tier (empty/idle when cfg_.durability.mode == kOff).
+  std::vector<std::unique_ptr<si::durability::ShardLog>> logs_;
+  std::vector<std::unique_ptr<MpscRing<HeldAck>>> held_;
+  std::vector<std::deque<HeldAck>> spill_;  ///< daemon-owned release queues
+  std::atomic<std::size_t> spill_depth_{0};
+  std::atomic<std::uint64_t> commits_since_flush_{0};
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;  ///< guarded by gc_mu_
+  std::thread gc_thread_;
+
   std::thread epoch_thread_;  ///< runs when AIMD and/or telemetry is enabled
   std::vector<std::thread> workers_;  ///< last member: joins before teardown
 };

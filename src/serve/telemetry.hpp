@@ -34,6 +34,7 @@ struct TelemetrySources {
   const AimdState* aimd = nullptr;       ///< null: AIMD disabled
   const si::obs::TimeSeries* series = nullptr;  ///< null: telemetry disabled
   const ReactorStats* reactor = nullptr;        ///< null: text front end
+  const DurabilityStats* log = nullptr;         ///< null: durability off
   std::string backend;
   int shards = 0;
   double uptime_s = 0.0;
@@ -153,6 +154,37 @@ inline std::string render_prometheus(const TelemetrySources& src) {
                     "Frames dropped as unparseable.",
                     src.reactor->parse_errors);
   }
+
+  // Durability plane (DESIGN.md §14): rendered only when the WAL is on so
+  // cache-mode scrapes stay unchanged.
+  if (src.log != nullptr) {
+    detail::counter(os, "si_log_appends_total",
+                    "WAL records appended across all shard logs.",
+                    src.log->appends);
+    detail::counter(os, "si_log_bytes_total",
+                    "WAL record bytes appended across all shard logs.",
+                    src.log->bytes);
+    detail::counter(os, "si_log_flushes_total",
+                    "Group-commit flush passes that wrote data.",
+                    src.log->flushes);
+    detail::counter(os, "si_log_fsyncs_total",
+                    "fsync/fdatasync calls issued by the group-commit daemon.",
+                    src.log->fsyncs);
+    detail::counter(os, "si_log_io_errors_total",
+                    "WAL write/fsync failures (durable LSN stalls).",
+                    src.log->io_errors);
+    detail::gauge(os, "si_log_durable_lsn",
+                  "Sum of per-shard durable LSNs.",
+                  static_cast<double>(src.log->durable_lsn));
+    detail::gauge(os, "si_log_acks_held",
+                  "Completions parked until their covering fsync.",
+                  static_cast<double>(src.log->acks_held));
+    if (src.snap != nullptr) {
+      detail::summary(os, "si_durable_ack_latency_ns",
+                      "Request enqueue to durable-ack release.",
+                      src.snap->durable_ack);
+    }
+  }
   return os.str();
 }
 
@@ -220,6 +252,28 @@ inline std::string render_series_json(const TelemetrySources& src) {
     w.end_object();
   }
 
+  if (src.log != nullptr) {
+    w.key("log");
+    w.begin_object();
+    w.key("appends");
+    w.value(src.log->appends);
+    w.key("bytes");
+    w.value(src.log->bytes);
+    w.key("flushes");
+    w.value(src.log->flushes);
+    w.key("fsyncs");
+    w.value(src.log->fsyncs);
+    w.key("io_errors");
+    w.value(src.log->io_errors);
+    w.key("appended_lsn");
+    w.value(src.log->appended_lsn);
+    w.key("durable_lsn");
+    w.value(src.log->durable_lsn);
+    w.key("acks_held");
+    w.value(src.log->acks_held);
+    w.end_object();
+  }
+
   if (src.series != nullptr) {
     w.key("series_totals");
     w.begin_object();
@@ -275,6 +329,16 @@ inline std::string render_series_json(const TelemetrySources& src) {
       w.value(r.flushes);
       w.key("bytes_out");
       w.value(r.bytes_out);
+      // Log-plane columns ride in every epoch (zeros with durability off)
+      // so the si-series-v1 schema stays mode-independent.
+      w.key("log_appends");
+      w.value(r.log_appends);
+      w.key("log_bytes");
+      w.value(r.log_bytes);
+      w.key("log_fsyncs");
+      w.value(r.log_fsyncs);
+      w.key("durable_lsn");
+      w.value(r.durable_lsn);
       w.end_object();
     }
     w.end_array();

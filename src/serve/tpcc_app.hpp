@@ -53,6 +53,12 @@ class TpccApp {
     return op == kOrderStatus || op == kStockLevel;
   }
 
+  /// Durability tier: TPC-C requests are not logged. The kSampled opcode
+  /// draws its transaction type (and all parameters) from a per-thread RNG,
+  /// so a log replay would not reproduce the crashed run's state; si_serve
+  /// refuses -durability with -workload tpcc rather than pretend otherwise.
+  static bool logged_op(std::uint16_t) noexcept { return false; }
+
  private:
   si::tpcc::Workload workload_;
 };

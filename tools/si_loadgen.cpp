@@ -65,6 +65,7 @@ namespace {
 
 struct Options {
   std::string host = "127.0.0.1";
+  std::string ledger;  ///< -ledger FILE: record every acked put/del
   std::uint16_t port = 7070;
   int conns = 8;
   std::uint64_t requests = 100000;  ///< total across connections (closed loop)
@@ -82,6 +83,46 @@ struct Options {
   int pipeline = 8;         ///< max requests in flight per connection (bin)
   int client_threads = 2;   ///< epoll event-loop threads (bin)
 };
+
+/// Acked-write ledger (DESIGN.md §14): one text line `id op key arg` per
+/// put/del the server answered with kOk. The ledger is the client-side
+/// ground truth for crash recovery — after kill -9 + `si_serve -recover`,
+/// every id in this file must appear in the replayed log
+/// (scripts/crash_recovery_smoke.py diffs it against `si_logdump -ids`).
+/// Lines are written only after the ack arrives, so requests that were in
+/// flight when the server died are (correctly) absent. Shared by all
+/// client threads; the mutex is nowhere near the latency path we measure.
+class Ledger {
+ public:
+  bool open(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "w");
+    return file_ != nullptr;
+  }
+  bool enabled() const noexcept { return file_ != nullptr; }
+  void record(std::uint64_t id, std::uint16_t op, std::uint64_t key,
+              std::uint64_t arg) {
+    if (file_ == nullptr) return;
+    if (op != si::serve::KvApp::kPut && op != si::serve::KvApp::kDel) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(file_, "%llu %u %llu %llu\n",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned>(op),
+                 static_cast<unsigned long long>(key),
+                 static_cast<unsigned long long>(arg));
+  }
+  void close() {
+    if (file_ == nullptr) return;
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+Ledger g_ledger;
 
 struct ConnResult {
   std::uint64_t sent = 0;
@@ -102,7 +143,9 @@ void usage(const char* prog) {
                "          [-ro PCT] [-keys N] [-think-us US] [-seed S]\n"
                "          [-range PCT] [-span N]\n"
                "          [-mode closed|open] [-rate REQ_S] [-duration-s S]\n"
-               "          [-tpcc] [-json FILE] [-system NAME] [-point NAME]\n",
+               "          [-tpcc] [-json FILE] [-system NAME] [-point NAME]\n"
+               "          [-ledger FILE]   record every acked put/del as\n"
+               "                           'id op key arg' (crash recovery)\n",
                prog);
 }
 
@@ -203,6 +246,7 @@ void closed_loop_conn(const Options& opt, int conn_idx, std::uint64_t quota,
         ++out->ok;
         out->latency.record(
             static_cast<std::uint64_t>(si::obs::wall_ns() - t0));
+        g_ledger.record(id, op, key, arg);
       } else {
         ++out->failed;
       }
@@ -215,6 +259,16 @@ void closed_loop_conn(const Options& opt, int conn_idx, std::uint64_t quota,
   ::close(fd);
 }
 
+/// A request awaiting its response: send timestamp plus what was asked,
+/// kept so rejected requests can be resent verbatim (bin engine) and acked
+/// writes can be recorded in the ledger.
+struct PendingReq {
+  double t0 = 0.0;
+  std::uint16_t op = 0;
+  std::uint64_t key = 0;
+  std::uint64_t arg = 0;
+};
+
 void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
   std::string err;
   const int fd = si::serve::net::connect_tcp(opt.host, opt.port, &err);
@@ -225,7 +279,7 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
   }
 
   std::mutex mu;  // guards in_flight (sender + reader of this connection)
-  std::unordered_map<std::uint64_t, double> in_flight;
+  std::unordered_map<std::uint64_t, PendingReq> in_flight;
   std::atomic<bool> sender_done{false};
 
   std::thread reader_thread([&] {
@@ -237,23 +291,25 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
       if (!si::serve::net::parse_response(resp_line, &id, &status, &value)) {
         continue;
       }
-      double t0 = -1.0;
+      PendingReq req;
+      req.t0 = -1.0;
       bool drained;
       {
         std::lock_guard<std::mutex> lock(mu);
         auto it = in_flight.find(id);
         if (it != in_flight.end()) {
-          t0 = it->second;
+          req = it->second;
           in_flight.erase(it);
         }
         drained = sender_done.load(std::memory_order_acquire) &&
                   in_flight.empty();
       }
-      if (t0 < 0) continue;  // duplicate or unknown id
+      if (req.t0 < 0) continue;  // duplicate or unknown id
       if (status == static_cast<int>(si::serve::Status::kOk)) {
         ++out->ok;
         out->latency.record(
-            static_cast<std::uint64_t>(si::obs::wall_ns() - t0));
+            static_cast<std::uint64_t>(si::obs::wall_ns() - req.t0));
+        g_ledger.record(id, req.op, req.key, req.arg);
       } else if (status == static_cast<int>(si::serve::Status::kRejected)) {
         ++out->rejected;  // open loop: shed, not retried
       } else {
@@ -294,7 +350,7 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
     si::serve::net::format_request(&line, id, op, key, arg);
     {
       std::lock_guard<std::mutex> lock(mu);
-      in_flight.emplace(id, si::obs::wall_ns());
+      in_flight.emplace(id, PendingReq{si::obs::wall_ns(), op, key, arg});
     }
     if (!si::serve::net::send_all(fd, line.data(), line.size())) {
       std::lock_guard<std::mutex> lock(mu);
@@ -337,13 +393,6 @@ void open_loop_conn(const Options& opt, int conn_idx, ConnResult* out) {
 // as `misrouted` (the acceptance signal that completions were routed to the
 // wrong connection). Rejections re-arm after the server's retry hint while
 // still occupying their pipeline slot, so the loop stays closed.
-
-struct PendingReq {
-  double t0 = 0.0;
-  std::uint16_t op = 0;
-  std::uint64_t key = 0;
-  std::uint64_t arg = 0;
-};
 
 struct RetryReq {
   double due_ns = 0.0;
@@ -536,6 +585,7 @@ class BinEngine {
         ++c.res->ok;
         c.res->latency.record(
             static_cast<std::uint64_t>(si::obs::wall_ns() - it->second.t0));
+        g_ledger.record(id, it->second.op, it->second.key, it->second.arg);
       } else if (status == static_cast<int>(si::serve::Status::kRejected)) {
         ++c.res->rejected;
         ++c.res->retries;
@@ -678,6 +728,11 @@ int main(int argc, char** argv) {
                  "-proto text -mode open\n");
     return 2;
   }
+  opt.ledger = cli.get("ledger", "");
+  if (!opt.ledger.empty() && !g_ledger.open(opt.ledger)) {
+    std::fprintf(stderr, "cannot open ledger file: %s\n", opt.ledger.c_str());
+    return 2;
+  }
 
   std::vector<ConnResult> results(static_cast<std::size_t>(opt.conns));
 
@@ -707,6 +762,7 @@ int main(int argc, char** argv) {
     for (auto& t : threads) t.join();
   }
   const double elapsed_s = (si::obs::wall_ns() - t0) / 1e9;
+  g_ledger.close();  // every acked write is on disk before we report
 
   ConnResult total;
   bool io_error = false;

@@ -41,6 +41,10 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "check/history.hpp"
+#include "check/verify.hpp"
+#include "durability/recover.hpp"
+#include "durability/wal.hpp"
 #include "maps/bst.hpp"
 #include "maps/btree.hpp"
 #include "maps/skiplist.hpp"
@@ -74,6 +78,9 @@ void usage(const char* prog) {
                "          [-admin-port P] [-series-epoch-ms N] [-series-ring N]\n"
                "          [-buckets N] [-elements N] [-warehouses N]\n"
                "          [-struct skiplist|bst|btree] [-scan-cap N]\n"
+               "          [-durability off|buffered|fsync|odirect] [-log-dir D]\n"
+               "          [-group-commit-us N] [-group-commit-batch N]\n"
+               "          [-recover] [-recover-only] [-recover-verify]\n"
                "          [-json FILE]\n",
                prog);
 }
@@ -199,6 +206,7 @@ std::unique_ptr<si::serve::AdminServer> start_admin(
     const si::obs::MetricsSnapshot snap = metrics.snapshot();
     const si::serve::AimdState aimd = service.aimd_state();
     si::serve::ReactorStats rstats;
+    si::serve::DurabilityStats lstats;
     si::serve::TelemetrySources src;
     src.snap = &snap;
     src.counters = service.counters();
@@ -207,6 +215,10 @@ std::unique_ptr<si::serve::AdminServer> start_admin(
     if (reactor_stats) {
       rstats = reactor_stats();
       src.reactor = &rstats;
+    }
+    if (service.config().durability.enabled()) {
+      lstats = service.durability_stats();
+      src.log = &lstats;
     }
     src.backend = backend_name;
     src.shards = service.shards();
@@ -405,6 +417,24 @@ int report_run(ServiceT& service, si::util::Cli& cli,
     }
     std::printf("\n");
   }
+  if (service.config().durability.enabled()) {
+    const si::serve::DurabilityStats d = service.durability_stats();
+    std::printf("si_serve: wal appends=%llu bytes=%llu flushes=%llu "
+                "fsyncs=%llu io-errors=%llu durable-lsn=%llu\n",
+                static_cast<unsigned long long>(d.appends),
+                static_cast<unsigned long long>(d.bytes),
+                static_cast<unsigned long long>(d.flushes),
+                static_cast<unsigned long long>(d.fsyncs),
+                static_cast<unsigned long long>(d.io_errors),
+                static_cast<unsigned long long>(d.durable_lsn));
+    if (snap.durable_ack.count() > 0) {
+      std::printf("si_serve: durable-ack latency p50=%llu p99=%llu ns "
+                  "(%llu held acks released)\n",
+                  static_cast<unsigned long long>(snap.durable_ack.quantile(0.50)),
+                  static_cast<unsigned long long>(snap.durable_ack.quantile(0.99)),
+                  static_cast<unsigned long long>(snap.durable_ack.count()));
+    }
+  }
   const auto aimd = service.aimd_state();
   if (service.config().aimd.enabled) {
     std::printf("si_serve: aimd watermark=%zu epochs=%llu raises=%llu "
@@ -561,6 +591,82 @@ int run_front_end(ServiceT& service, si::util::Cli& cli,
   return run_reactor_front_end(service, cli, metrics, backend_name);
 }
 
+/// `-recover`: scan the shard logs, replay the trusted records into `app`
+/// (DESIGN.md §14), and with `-recover-verify` run the replayed history
+/// through the src/check SI verifier. Uses a private single-thread runtime
+/// so the replay neither pollutes the serving metrics nor needs the Service
+/// up. Returns 0 when the replay (and the verifier, if asked) is clean.
+template <typename App>
+int run_recovery(App& app, const si::serve::ServiceConfig& scfg,
+                 si::util::Cli& cli) {
+  const std::string dir = cli.get("log-dir", "");
+  si::runtime::RuntimeConfig rcfg = scfg.runtime;
+  rcfg.max_threads = 1;
+  rcfg.obs = {};
+  rcfg.on_commit = {};
+  std::unique_ptr<si::check::HistoryRecorder> recorder;
+  if (cli.has("recover-verify")) {
+    recorder = std::make_unique<si::check::HistoryRecorder>(1);
+    rcfg.recorder = recorder.get();
+  }
+  si::runtime::Runtime rt(rcfg);
+  const si::durability::RecoveryReport rep =
+      si::durability::recover_into(app, rt, dir);
+  if (!rep.ok) {
+    std::fprintf(stderr, "si_serve: recovery failed: %s\n", rep.error.c_str());
+    return 3;
+  }
+  for (const si::durability::ShardScan& s : rep.scans) {
+    std::printf("si_serve: recover %s: records=%zu last-lsn=%llu "
+                "torn-bytes=%zu%s\n",
+                s.path.c_str(), s.scan.records.size(),
+                static_cast<unsigned long long>(s.scan.last_lsn),
+                s.scan.torn_bytes,
+                s.scan.end == si::durability::ScanEnd::kLsnGap
+                    ? " (lsn gap)" : "");
+  }
+  std::printf("si_serve: recovery replayed=%llu failed=%llu shards=%u "
+              "torn-bytes=%llu\n",
+              static_cast<unsigned long long>(rep.replayed),
+              static_cast<unsigned long long>(rep.failed),
+              rep.shards, static_cast<unsigned long long>(rep.torn_bytes));
+  if (rep.failed != 0) {
+    std::fprintf(stderr, "si_serve: recovery replay had failures\n");
+    return 3;
+  }
+  if (recorder != nullptr) {
+    const auto result = si::check::verify_si(recorder->merged());
+    std::printf("si_serve: %s\n", si::check::describe(result).c_str());
+    if (!result.ok()) return 4;
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+/// Shared tail of main(): optional recovery into the freshly seeded app,
+/// then (unless -recover-only) the service + front end.
+template <typename App>
+int serve_app(App& app, si::serve::ServiceConfig& scfg, si::util::Cli& cli,
+              si::obs::Metrics& metrics, const std::string& backend_name) {
+  if (cli.has("recover") || cli.has("recover-only")) {
+    const int rc = run_recovery(app, scfg, cli);
+    if (rc != 0 || cli.has("recover-only")) return rc;
+  }
+  try {
+    si::serve::Service<App> service(app, scfg);
+    if (scfg.durability.enabled()) {
+      std::printf("si_serve: durability %s dir=%s group-commit=%u us\n",
+                  si::durability::to_string(scfg.durability.mode),
+                  scfg.durability.dir.c_str(), scfg.durability.group_commit_us);
+      std::fflush(stdout);
+    }
+    return run_front_end(service, cli, metrics, backend_name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "si_serve: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -610,6 +716,34 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("series-ring", 256));
   }
 
+  // Durability tier (DESIGN.md §14).
+  if (!si::durability::mode_from_string(cli.get("durability", "off"),
+                                        &scfg.durability.mode)) {
+    std::fprintf(stderr, "unknown durability mode: %s\n",
+                 cli.get("durability", "off").c_str());
+    usage(argv[0]);
+    return 2;
+  }
+  scfg.durability.dir = cli.get("log-dir", "");
+  scfg.durability.group_commit_us =
+      static_cast<std::uint32_t>(cli.get_int("group-commit-us", 200));
+  scfg.durability.batch =
+      static_cast<std::uint32_t>(cli.get_int("group-commit-batch", 64));
+  const bool wants_recovery = cli.has("recover") || cli.has("recover-only");
+  if ((scfg.durability.enabled() || wants_recovery) &&
+      scfg.durability.dir.empty()) {
+    std::fprintf(stderr, "si_serve: -durability/-recover require -log-dir\n");
+    return 2;
+  }
+  if ((scfg.durability.enabled() || wants_recovery) && workload == "tpcc") {
+    // TpccApp::logged_op is false for every opcode: kSampled draws its
+    // parameters from a per-thread RNG, so a log replay could not reproduce
+    // the crashed run. Refuse rather than gate nothing.
+    std::fprintf(stderr,
+                 "si_serve: -durability/-recover not supported for tpcc\n");
+    return 2;
+  }
+
   si::obs::Metrics metrics(scfg.shards);
   scfg.runtime.obs.metrics = &metrics;
 
@@ -624,8 +758,7 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.get_int("elements", 20000));
     acfg.key_space = acfg.seed_elements * 2;
     si::serve::KvApp app(acfg, scfg.shards);
-    si::serve::Service<si::serve::KvApp> service(app, scfg);
-    return run_front_end(service, cli, metrics, backend_name);
+    return serve_app(app, scfg, cli, metrics, backend_name);
   }
 
   if (workload == "map") {
@@ -645,8 +778,7 @@ int main(int argc, char** argv) {
     auto serve_map = [&](auto map_tag) {
       using Map = typename decltype(map_tag)::type;
       si::serve::MapApp<Map> app(acfg, scfg.shards);
-      si::serve::Service<si::serve::MapApp<Map>> service(app, scfg);
-      return run_front_end(service, cli, metrics, backend_name);
+      return serve_app(app, scfg, cli, metrics, backend_name);
     };
     switch (st) {
       case si::maps::Struct::kSkiplist:
@@ -666,6 +798,5 @@ int main(int argc, char** argv) {
   dcfg.initial_orders_per_district = 200;
   dcfg.order_ring_bits = 10;
   si::serve::TpccApp app(dcfg, si::tpcc::Mix::standard(), scfg.shards);
-  si::serve::Service<si::serve::TpccApp> service(app, scfg);
-  return run_front_end(service, cli, metrics, backend_name);
+  return serve_app(app, scfg, cli, metrics, backend_name);
 }
